@@ -1,0 +1,113 @@
+// Command xpath evaluates an XPath 1.0 expression against an XML document
+// with a selectable evaluation engine:
+//
+//	xpath -engine optmincontext -file doc.xml '//b[c = 100]'
+//	cat doc.xml | xpath '/descendant::d'
+//
+// The -stats flag prints the engine's instrumentation counters (table
+// cells, single-context evaluations, axis calls) after the result, and
+// -fragment prints the query's fragment classification (Core XPath /
+// Extended Wadler / full XPath 1.0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	xpath "repro"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "auto", "evaluation engine: auto|optmincontext|mincontext|topdown|bottomup|corexpath|naive")
+		file       = flag.String("file", "", "XML document (default: stdin)")
+		contextID  = flag.String("context", "", "id attribute of the context node (default: document root)")
+		stats      = flag.Bool("stats", false, "print evaluation statistics")
+		fragment   = flag.Bool("fragment", false, "print the query's fragment classification")
+		normalized = flag.Bool("normalized", false, "print the normalized (unabbreviated) query")
+		explain    = flag.Bool("explain", false, "print the OPTMINCONTEXT evaluation plan")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xpath [flags] <query>\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *engineName, *file, *contextID, *stats, *fragment, *normalized, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "xpath:", err)
+		os.Exit(1)
+	}
+}
+
+func run(querySrc, engineName, file, contextID string, stats, fragment, normalized, explain bool) error {
+	eng, ok := xpath.EngineByName(engineName)
+	if !ok {
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+
+	var in io.Reader = os.Stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := xpath.ParseDocument(in)
+	if err != nil {
+		return err
+	}
+
+	q, err := xpath.Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if normalized {
+		fmt.Println("normalized:", q.String())
+	}
+	if fragment {
+		fmt.Println("fragment:", q.Fragment())
+	}
+	if explain {
+		fmt.Print(q.Explain())
+	}
+
+	opts := xpath.Options{Engine: eng}
+	if contextID != "" {
+		opts.ContextNode = doc.ByID(contextID)
+		if opts.ContextNode == nil {
+			return fmt.Errorf("no node with id %q", contextID)
+		}
+	}
+	res, err := q.EvaluateWith(doc, opts)
+	if err != nil {
+		return err
+	}
+
+	if res.IsNodeSet() {
+		nodes := res.Nodes()
+		fmt.Printf("%d node(s)\n", len(nodes))
+		for _, n := range nodes {
+			val := strings.TrimSpace(n.StringValue())
+			if len(val) > 60 {
+				val = val[:57] + "..."
+			}
+			fmt.Printf("  %-12s %s\n", n, val)
+		}
+	} else {
+		fmt.Println(res.Text())
+	}
+	if stats {
+		s := res.Stats()
+		fmt.Printf("stats: cells=%d contexts=%d axis-calls=%d\n",
+			s.TableCells, s.ContextsEvaluated, s.AxisCalls)
+	}
+	return nil
+}

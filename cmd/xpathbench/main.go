@@ -1,0 +1,94 @@
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E13) and
+// prints paper-style tables with fitted growth exponents:
+//
+//	xpathbench -exp all
+//	xpathbench -exp e5,e7 -sizes 50,100,200 -reps 5
+//
+// Experiment identifiers follow DESIGN.md §2: E5 exponential blowup, E6/E7
+// Theorem 7 time/space, E8 Theorem 10 (Extended Wadler), E9 Theorem 13
+// (Core XPath), E10 Corollary 11, E11/E12 §3.1 ablations, E13 differential
+// agreement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiments (e5..e13) or 'all'")
+		sizes  = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
+		small  = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
+		reps   = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
+		maxDbl = flag.Int("max-doubling", 20, "last i of the E5 doubling-query family")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Reps: *reps, MaxDouble: *maxDbl}
+	var err error
+	if cfg.Sizes, err = parseSizes(*sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "xpathbench:", err)
+		os.Exit(2)
+	}
+	if cfg.SmallSizes, err = parseSizes(*small); err != nil {
+		fmt.Fprintln(os.Stderr, "xpathbench:", err)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *exps == "all" {
+		bench.RunAll(w, cfg)
+		return
+	}
+	for _, name := range strings.Split(*exps, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "e5":
+			bench.E5(cfg).Print(w)
+		case "e6":
+			bench.E6(cfg).Print(w)
+		case "e7":
+			bench.E7(cfg).Print(w)
+		case "e8":
+			for _, t := range bench.E8(cfg) {
+				t.Print(w)
+			}
+		case "e9":
+			for _, t := range bench.E9(cfg) {
+				t.Print(w)
+			}
+		case "e10":
+			bench.E10(cfg).Print(w)
+		case "e11":
+			bench.E11(cfg).Print(w)
+		case "e12":
+			bench.E12(cfg).Print(w)
+		case "e13":
+			bench.E13(cfg).Print(w)
+		default:
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e13)\n", name)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+// Command xpathtables prints the context-value tables of a query's parse
+// tree, regenerating the paper's Figure 4 (full tables over the reachable
+// contexts) and Figure 5 (tables reduced to the relevant context,
+// Section 3.1).
+//
+//	xpathtables -fig4          # Figure 4 on the paper's document and query
+//	xpathtables -fig5          # Figure 5 (reduced tables)
+//	xpathtables -file doc.xml 'QUERY'   # reduced tables for any query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		fig4 = flag.Bool("fig4", false, "print the Figure 4 tables (paper's document and query)")
+		fig5 = flag.Bool("fig5", false, "print the Figure 5 reduced tables (paper's document and query)")
+		tree = flag.Bool("tree", false, "print the parse tree (Figures 3 and 6)")
+		dot  = flag.Bool("dot", false, "emit the parse tree as Graphviz DOT")
+		file = flag.String("file", "", "XML document (default: the paper's Figure 2 document)")
+	)
+	flag.Parse()
+	if err := run(*fig4, *fig5, *tree, *dot, *file, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "xpathtables:", err)
+		os.Exit(1)
+	}
+}
+
+const paperQuery = `/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]`
+
+func run(fig4, fig5, tree, dot bool, file string, args []string) error {
+	doc := workload.Figure2()
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d, err := xmltree.Parse(f)
+		if err != nil {
+			return err
+		}
+		doc = d
+	}
+	src := paperQuery
+	if len(args) == 1 {
+		src = args[0]
+	} else if len(args) > 1 {
+		return fmt.Errorf("expected at most one query argument")
+	}
+	q, err := syntax.Compile(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\nnormalized: %s\nfragment: %s\n\n", src, q.Root, q.Fragment)
+
+	if tree {
+		fmt.Println("=== Parse tree (cf. Figures 3 and 6) ===")
+		fmt.Print(q.TreeString())
+		fmt.Println()
+	}
+	if dot {
+		if err := q.WriteDot(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tree || dot {
+		if !fig4 && !fig5 {
+			return nil
+		}
+	}
+
+	if fig4 || !fig5 && len(args) == 0 && file == "" {
+		fmt.Println("=== Figure 4: context-value tables over reachable contexts ===")
+		if err := printFullTables(q, doc); err != nil {
+			return err
+		}
+	}
+	if fig5 || len(args) == 1 || file != "" {
+		fmt.Println("=== Figure 5: tables reduced to the relevant context (MINCONTEXT) ===")
+		if err := printReducedTables(q, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeName renders a context node the way the paper's tables do.
+func nodeName(n *xmltree.Node) string {
+	if n.IsRoot() {
+		return "/"
+	}
+	if id, ok := n.Attr("id"); ok {
+		return "x" + id
+	}
+	return fmt.Sprintf("%s@%d", n.Label(), n.Pre())
+}
+
+// printFullTables reproduces Figure 4: it walks the outermost location
+// path, collects the contexts 〈cn, cp, cs〉 reachable at each predicate,
+// and evaluates every subexpression of the predicate at those contexts.
+func printFullTables(q *syntax.Query, doc *xmltree.Document) error {
+	p, ok := q.Root.(*syntax.Path)
+	if !ok {
+		return fmt.Errorf("-fig4 requires a location-path query")
+	}
+	ne := naive.New()
+
+	cur := xmltree.Singleton(doc.Root())
+	if !p.Abs {
+		cur = xmltree.Singleton(doc.Root())
+	}
+	for si, step := range p.Steps {
+		next := xmltree.NewSet(doc)
+		var ctxs []engine.Context
+		cur.ForEach(func(x *xmltree.Node) {
+			cands := engine.Candidates(step.Axis, step.Test, x, nil)
+			for _, pred := range step.Preds {
+				m := len(cands)
+				kept := cands[:0]
+				for j, z := range cands {
+					ctxs = append(ctxs, engine.Context{Node: z, Pos: j + 1, Size: m})
+					pq := subQuery(q, pred)
+					v, _, err := ne.Evaluate(pq, doc, engine.Context{Node: z, Pos: j + 1, Size: m})
+					if err != nil {
+						panic(err)
+					}
+					if values.ToBool(v) {
+						kept = append(kept, z)
+					}
+				}
+				cands = kept
+			}
+			for _, z := range cands {
+				next.Add(z)
+			}
+		})
+		fmt.Printf("step %d: %s  →  result set %s\n", si+1, step, next)
+		for _, pred := range step.Preds {
+			printPredSubtree(q, pred, doc, ctxs, ne)
+		}
+		cur = next
+	}
+	fmt.Println()
+	return nil
+}
+
+// printPredSubtree prints the table of every node in a predicate subtree
+// over the given contexts.
+func printPredSubtree(q *syntax.Query, pred syntax.Expr, doc *xmltree.Document, ctxs []engine.Context, ne *naive.Engine) {
+	var walk func(e syntax.Expr)
+	walk = func(e syntax.Expr) {
+		fmt.Printf("\n  table for N%d:  %s   (Relev = %s)\n", e.ID(), e, q.Relev[e.ID()])
+		fmt.Printf("    %-6s %-4s %-4s  %s\n", "cn", "cp", "cs", "res")
+		for _, c := range ctxs {
+			sq := subQuery(q, e)
+			v, _, err := ne.Evaluate(sq, doc, c)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("    %-6s %-4d %-4d  %s\n", nodeName(c.Node), c.Pos, c.Size, values.Render(v))
+		}
+		for _, ch := range childrenOf(e) {
+			walk(ch)
+		}
+	}
+	walk(pred)
+}
+
+func childrenOf(e syntax.Expr) []syntax.Expr {
+	switch e := e.(type) {
+	case *syntax.Binary:
+		return []syntax.Expr{e.L, e.R}
+	case *syntax.Negate:
+		return []syntax.Expr{e.E}
+	case *syntax.Call:
+		return e.Args
+	}
+	return nil
+}
+
+// subQuery wraps a subexpression as a standalone compiled query so the
+// naive engine can evaluate it in isolation. Relev and IDs carry over.
+func subQuery(q *syntax.Query, e syntax.Expr) *syntax.Query {
+	return &syntax.Query{Source: e.String(), Root: e, Nodes: q.Nodes, Relev: q.Relev}
+}
+
+// printReducedTables runs MINCONTEXT with the dump hook and prints the
+// reduced tables of Figure 5. (Plain MINCONTEXT rather than OPTMINCONTEXT:
+// the bottom-up pass of the latter replaces inner-path tables with boolean
+// tables, whereas Figure 5 shows the MINCONTEXT shape.)
+func printReducedTables(q *syntax.Query, doc *xmltree.Document) error {
+	eng := core.NewMinContext()
+	v, dumps, err := eng.EvaluateWithDump(q, doc, engine.RootContext(doc))
+	if err != nil {
+		return err
+	}
+	for _, d := range dumps {
+		rel := d.Relev.String()
+		fmt.Printf("\n  table for N%d:  %s   (Relev = %s, %d row(s))\n", d.NodeID, d.Expr, rel, len(d.Rows))
+		for _, r := range d.Rows {
+			cn := "*"
+			if r.CN >= 0 {
+				cn = nodeName(doc.Node(r.CN))
+			}
+			val := r.Value
+			if len(val) > 70 {
+				val = val[:67] + "..."
+			}
+			fmt.Printf("    %-6s  %s\n", cn, val)
+		}
+	}
+	fmt.Printf("\nresult: %s\n", values.Render(v))
+	if strings.TrimSpace(values.Render(v)) == "" {
+		fmt.Println("(empty)")
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package xpath_test
+
+// Testable examples: these run as part of the test suite and double as the
+// package documentation on go doc / pkg.go.dev-style viewers.
+
+import (
+	"fmt"
+
+	xpath "repro"
+)
+
+func ExampleCompile() {
+	doc, _ := xpath.ParseDocumentString(`<a><b>1</b><b>2</b><b>3</b></a>`)
+	q, _ := xpath.Compile(`//b[position() > 1]`)
+	res, _ := q.Evaluate(doc)
+	for _, n := range res.Nodes() {
+		fmt.Println(n.StringValue())
+	}
+	// Output:
+	// 2
+	// 3
+}
+
+func ExampleQuery_Fragment() {
+	for _, src := range []string{
+		`//a[b]`,          // predicates are bare paths: Core XPath
+		`//a[b = 1]`,      // comparison with a constant: Extended Wadler
+		`//a[count(b)=1]`, // count() violates Restriction 2: full XPath
+	} {
+		q, _ := xpath.Compile(src)
+		fmt.Printf("%-18s %s\n", src, q.Fragment())
+	}
+	// Output:
+	// //a[b]             core-xpath
+	// //a[b = 1]         extended-wadler
+	// //a[count(b)=1]    full-xpath
+}
+
+func ExampleQuery_EvaluateWith_engines() {
+	doc, _ := xpath.ParseDocumentString(`<a><b>10</b><b>20</b></a>`)
+	q, _ := xpath.Compile(`sum(//b)`)
+	// Every engine implements the same XPath 1.0 semantics.
+	for _, eng := range []xpath.Engine{xpath.EngineOptMinContext, xpath.EngineTopDown, xpath.EngineNaive} {
+		res, _ := q.EvaluateWith(doc, xpath.Options{Engine: eng})
+		fmt.Println(eng, res.Number())
+	}
+	// Output:
+	// optmincontext 30
+	// topdown 30
+	// naive 30
+}
+
+func ExampleQuery_EvaluateWith_contextNode() {
+	doc, _ := xpath.ParseDocumentString(`<a><b id="first"><c/></b><b id="second"/></a>`)
+	q, _ := xpath.Compile(`count(child::c)`)
+	res, _ := q.EvaluateWith(doc, xpath.Options{ContextNode: doc.ByID("first")})
+	fmt.Println(res.Number())
+	// Output:
+	// 1
+}
+
+func ExampleCompileWithVars() {
+	doc, _ := xpath.ParseDocumentString(`<a><b>5</b><b>12</b></a>`)
+	q, _ := xpath.CompileWithVars(`//b[. > $threshold]`, map[string]xpath.Var{
+		"threshold": xpath.NumberVar(10),
+	})
+	res, _ := q.Evaluate(doc)
+	fmt.Println(len(res.Nodes()))
+	// Output:
+	// 1
+}
+
+func ExampleQuery_String() {
+	// String returns the normalized, unabbreviated form with all type
+	// conversions made explicit (§2.2 of the paper).
+	q, _ := xpath.Compile(`//b[c]`)
+	fmt.Println(q)
+	// Output:
+	// /descendant-or-self::node()/child::b[boolean(child::c)]
+}
+
+func ExampleResult_Stats() {
+	doc, _ := xpath.ParseDocumentString(`<a><b>1</b><b>100</b></a>`)
+	q, _ := xpath.Compile(`//b[. = 100]`)
+	res, _ := q.EvaluateWith(doc, xpath.Options{Engine: xpath.EngineMinContext})
+	// Table cells are the quantity bounded by the paper's space theorems.
+	fmt.Println(res.Stats().TableCells > 0)
+	// Output:
+	// true
+}

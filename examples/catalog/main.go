@@ -1,0 +1,94 @@
+// Catalog: a realistic product-catalog workload — the kind of
+// data-oriented XML querying the paper's introduction motivates — with
+// engine selection and per-engine cost comparison on the same queries.
+//
+//	go run ./examples/catalog
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	xpath "repro"
+)
+
+// buildCatalog synthesizes a catalog with sections, products, prices and
+// stock counts, plus cross-references through id attributes.
+func buildCatalog(productsPerSection int) *xpath.Document {
+	var b strings.Builder
+	b.WriteString(`<catalog id="cat">`)
+	sections := []string{"storage", "network", "compute"}
+	prices := []string{"19", "49", "100", "249", "999"}
+	for si, sec := range sections {
+		fmt.Fprintf(&b, `<section id="s%d"><name>%s</name>`, si, sec)
+		for p := 0; p < productsPerSection; p++ {
+			id := fmt.Sprintf("p%d%d", si, p)
+			fmt.Fprintf(&b,
+				`<product id="%s"><sku>%s</sku><price>%s</price><stock>%d</stock></product>`,
+				id, strings.ToUpper(id), prices[(si+p)%len(prices)], (p*7)%13)
+		}
+		b.WriteString(`</section>`)
+	}
+	// A promotions block referring to products by id.
+	b.WriteString(`<promotions><promo>p01 p12</promo><promo>p20</promo></promotions>`)
+	b.WriteString(`</catalog>`)
+	doc, err := xpath.ParseDocumentString(b.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return doc
+}
+
+func main() {
+	doc := buildCatalog(6)
+	fmt.Printf("catalog with %d nodes\n\n", doc.Size())
+
+	queries := []struct {
+		what string
+		src  string
+	}{
+		{"products costing exactly 100", `//product[price = 100]/sku`},
+		{"cheap and in stock", `//product[price < 50][stock > 0]/sku`},
+		{"sections that stock something expensive", `//section[product/price >= 249]/name`},
+		{"promoted products (id dereference)", `id(//promo)/sku`},
+		{"last product of each section", `//section/product[last()]/sku`},
+		{"total stock value is a number", `sum(//product/stock)`},
+		{"out-of-stock products exist", `boolean(//product[stock = 0])`},
+	}
+	for _, item := range queries {
+		q, err := xpath.Compile(item.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := q.Evaluate(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rendered string
+		if res.IsNodeSet() {
+			var parts []string
+			for _, n := range res.Nodes() {
+				parts = append(parts, n.StringValue())
+			}
+			rendered = strings.Join(parts, ", ")
+		} else {
+			rendered = res.Text()
+		}
+		fmt.Printf("%-42s %-12s → %s\n", item.what, "("+q.Fragment().String()+")", rendered)
+	}
+
+	// The same query costs very differently across the paper's engines.
+	fmt.Println("\nengine cost comparison on", queries[2].src, "(catalog with 100 products/section)")
+	big := buildCatalog(100)
+	q := xpath.MustCompile(queries[2].src)
+	for _, eng := range []xpath.Engine{xpath.EngineOptMinContext, xpath.EngineMinContext, xpath.EngineTopDown} {
+		res, err := q.EvaluateWith(big, xpath.Options{Engine: eng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats()
+		fmt.Printf("  %-15s cells=%-8d contexts=%-8d axis-calls=%d\n",
+			eng, s.TableCells, s.ContextsEvaluated, s.AxisCalls)
+	}
+}

@@ -1,0 +1,95 @@
+// Paperfigures: replays the paper's worked examples end to end — the
+// Figure 2 document, the §2.4 running query with its Example 4/5 sets, and
+// the Example 9 OPTMINCONTEXT walkthrough — printing each artifact next to
+// the value the paper states.
+//
+//	go run ./examples/paperfigures
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xpath "repro"
+)
+
+const figure2 = `<a id="10"><b id="11"><c id="12">21 22</c><c id="13">23 24</c><d id="14">100</d></b><b id="21"><c id="22">11 12</c><d id="23">13 14</d><d id="24">100</d></b></a>`
+
+func ids(nodes []*xpath.Node) string {
+	out := "{"
+	for i, n := range nodes {
+		if i > 0 {
+			out += ", "
+		}
+		id, _ := n.Attr("id")
+		out += "x" + id
+	}
+	return out + "}"
+}
+
+func eval(doc *xpath.Document, src string, eng xpath.Engine) *xpath.Result {
+	q, err := xpath.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.EvaluateWith(doc, xpath.Options{Engine: eng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	doc, err := xpath.ParseDocumentString(figure2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 2 document: |dom| = %d (paper: 9)\n\n", doc.Size())
+
+	// Section 2.4 / Example 4.
+	e := `/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]`
+	fmt.Println("§2.4 query e =", e)
+	first := eval(doc, `/descendant::*`, xpath.EngineOptMinContext)
+	fmt.Printf("  X after first step   = %s\n", ids(first.Nodes()))
+	fmt.Println("    (paper Example 4: {x10, x11, x12, x13, x14, x21, x22, x23, x24})")
+	final := eval(doc, e, xpath.EngineOptMinContext)
+	fmt.Printf("  final result Y       = %s\n", ids(final.Nodes()))
+	fmt.Println("    (paper: {x13, x14, x21, x22, x23, x24})")
+
+	// The same result from every engine (the paper's algorithms are
+	// semantics-preserving refinements of one another).
+	fmt.Println("\n  cross-engine check:")
+	for _, eng := range []xpath.Engine{xpath.EngineOptMinContext, xpath.EngineMinContext,
+		xpath.EngineTopDown, xpath.EngineBottomUp, xpath.EngineNaive} {
+		res := eval(doc, e, eng)
+		fmt.Printf("    %-15s %s\n", eng, ids(res.Nodes()))
+	}
+
+	// Example 9.
+	qSrc := `/child::a/descendant::*[boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)]`
+	fmt.Println("\nExample 9 query Q =", qSrc)
+	rho := eval(doc, `preceding-sibling::*/preceding::* = 100`, xpath.EngineOptMinContext)
+	_ = rho
+	inner := xpath.MustCompile(`preceding-sibling::*/preceding::* = 100`)
+	var trueAt []string
+	for _, id := range []string{"10", "11", "12", "13", "14", "21", "22", "23", "24"} {
+		res, err := inner.EvaluateWith(doc, xpath.Options{Engine: xpath.EngineOptMinContext, ContextNode: doc.ByID(id)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Bool() {
+			trueAt = append(trueAt, "x"+id)
+		}
+	}
+	fmt.Printf("  ρ = 100 holds at      %v   (paper: {x23, x24})\n", trueAt)
+	resQ := eval(doc, qSrc, xpath.EngineOptMinContext)
+	fmt.Printf("  final result          %s\n", ids(resQ.Nodes()))
+	fmt.Println("    (paper: {x11, x12, x13, x14, x22})")
+
+	// Fragment classifications the paper discusses.
+	fmt.Println("\nfragments:")
+	for _, src := range []string{e, qSrc, `/descendant::b[child::d]/child::c`} {
+		q := xpath.MustCompile(src)
+		fmt.Printf("  %-30.30s… → %s\n", src, q.Fragment())
+	}
+}

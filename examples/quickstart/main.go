@@ -1,0 +1,62 @@
+// Quickstart: parse a document, compile a query, evaluate it, and read both
+// node-set and scalar results through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xpath "repro"
+)
+
+const doc = `
+<library>
+  <book year="1994"><title>TCP/IP Illustrated</title><price>65.95</price></book>
+  <book year="1992"><title>Advanced Unix Programming</title><price>65.95</price></book>
+  <book year="2000"><title>Data on the Web</title><price>39.95</price></book>
+  <book year="1999"><title>Economics of Technology</title><price>129.95</price></book>
+</library>`
+
+func main() {
+	d, err := xpath.ParseDocumentString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d element nodes\n\n", d.Size())
+
+	// A node-set query, in abbreviated syntax.
+	q, err := xpath.Compile(`//book[price < 70]/title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query:      %s\nnormalized: %s\nfragment:   %s\n\n",
+		q.Source(), q, q.Fragment())
+
+	res, err := q.Evaluate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books under 70:")
+	for _, n := range res.Nodes() {
+		fmt.Printf("  - %s\n", n.StringValue())
+	}
+
+	// Scalar queries: every XPath 1.0 type is supported.
+	for _, src := range []string{
+		`count(//book)`,
+		`sum(//book/price)`,
+		`string(//book[1]/title)`,
+		`boolean(//magazine)`,
+		`//book[last()]/title = "Economics of Technology"`,
+	} {
+		q := xpath.MustCompile(src)
+		res, err := q.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-48s = %s", src, res)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,64 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// Explain describes how OPTMINCONTEXT will evaluate the query: the fragment
+// classification, the per-node relevant contexts of Section 3.1, and the
+// bottom-up evaluation plan of Algorithm 8. The output is meant for humans
+// (CLI -explain flag, examples); its exact format is not part of the API
+// contract.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	iq := q.q
+	fmt.Fprintf(&b, "query:      %s\n", iq.Source)
+	fmt.Fprintf(&b, "normalized: %s\n", iq.Root)
+	fmt.Fprintf(&b, "fragment:   %s", q.Fragment())
+	switch q.Fragment() {
+	case CoreXPath:
+		b.WriteString("  (evaluable in O(|D|·|Q|), Theorem 13)")
+	case ExtendedWadler:
+		b.WriteString("  (O(|D|²·|Q|²) time, O(|D|·|Q|²) space, Theorem 10)")
+	default:
+		b.WriteString("  (O(|D|⁴·|Q|²) time, O(|D|²·|Q|²) space, Theorem 7)")
+	}
+	fmt.Fprintf(&b, "\nparse tree: %d nodes\n", iq.Size())
+
+	// Relevant-context summary: how many nodes get tabled by context node
+	// only, how many need the position/size loop, how many are constant.
+	var constant, cnOnly, positional int
+	for id := range iq.Nodes {
+		r := iq.Relev[id]
+		switch {
+		case r == 0:
+			constant++
+		case r.NeedsPosition():
+			positional++
+		default:
+			cnOnly++
+		}
+	}
+	fmt.Fprintf(&b, "relev:      %d constant, %d context-node-only (tabled), %d position-dependent (loop-evaluated)\n",
+		constant, cnOnly, positional)
+
+	if len(iq.BottomUp) == 0 {
+		b.WriteString("bottom-up:  none (MINCONTEXT handles the whole tree)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "bottom-up:  %d subexpression(s), evaluated innermost-first via inverse axes (Algorithm 8):\n", len(iq.BottomUp))
+	for _, id := range iq.BottomUp {
+		pi, op, scalar := iq.BottomUpPath(id)
+		if scalar == nil {
+			fmt.Fprintf(&b, "  N%-3d boolean(%s)\n", id, pi)
+		} else {
+			fmt.Fprintf(&b, "  N%-3d %s %s %s\n", id, pi, opName(op), scalar)
+		}
+	}
+	return b.String()
+}
+
+func opName(op syntax.BinOp) string { return op.String() }

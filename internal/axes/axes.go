@@ -1,0 +1,315 @@
+// Package axes implements the XPath axis relations χ of the paper's
+// Section 2.1 as set-valued functions (Definition 1):
+//
+//	χ(X)   = { y ∈ dom | ∃x ∈ X : x χ y }
+//	χ⁻¹(Y) = { x ∈ dom | χ({x}) ∩ Y ≠ ∅ }
+//
+// Every axis function runs in time O(|D|) over bitset node sets, which is
+// the bound all complexity theorems of the paper build on. The package also
+// provides per-node ordered neighborhoods — the candidate list {z | x χ z}
+// sorted by <doc,χ — which the position/size loops of MINCONTEXT and
+// OPTMINCONTEXT iterate.
+//
+// The id-"axis" of Section 4 (the rewriting of nested id() calls into
+// location steps) is included as a twelfth axis, with the F[[Op]]⁻¹ inverse
+// the paper's propagate_path_backwards relies on.
+package axes
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Axis identifies one of the XPath axes handled by the paper, plus the
+// id-"axis" introduced in Section 4.
+type Axis int
+
+// The axes of Section 2.1, in the order the paper lists them, plus ID.
+const (
+	Self Axis = iota
+	Child
+	Parent
+	Descendant
+	Ancestor
+	DescendantOrSelf
+	AncestorOrSelf
+	Following
+	Preceding
+	FollowingSibling
+	PrecedingSibling
+	ID // the id-"axis" of Section 4
+	numAxes
+)
+
+var axisNames = [...]string{
+	Self:             "self",
+	Child:            "child",
+	Parent:           "parent",
+	Descendant:       "descendant",
+	Ancestor:         "ancestor",
+	DescendantOrSelf: "descendant-or-self",
+	AncestorOrSelf:   "ancestor-or-self",
+	Following:        "following",
+	Preceding:        "preceding",
+	FollowingSibling: "following-sibling",
+	PrecedingSibling: "preceding-sibling",
+	ID:               "id",
+}
+
+// String returns the axis's XPath name ("descendant-or-self", …).
+func (a Axis) String() string {
+	if a < 0 || int(a) >= len(axisNames) {
+		return fmt.Sprintf("axis(%d)", int(a))
+	}
+	return axisNames[a]
+}
+
+// ByName resolves an XPath axis name; ok is false for unknown names.
+func ByName(name string) (Axis, bool) {
+	for a, n := range axisNames {
+		if n == name {
+			return Axis(a), true
+		}
+	}
+	return 0, false
+}
+
+// All lists every axis, for exhaustive tests.
+func All() []Axis {
+	out := make([]Axis, numAxes)
+	for i := range out {
+		out[i] = Axis(i)
+	}
+	return out
+}
+
+// IsReverse reports whether <doc,χ is reverse document order for this axis
+// (§2.1): true for parent, ancestor, ancestor-or-self, preceding and
+// preceding-sibling; false for the forward axes, self, and id.
+func (a Axis) IsReverse() bool {
+	switch a {
+	case Parent, Ancestor, AncestorOrSelf, Preceding, PrecedingSibling:
+		return true
+	}
+	return false
+}
+
+// Inverse returns the axis χ⁻¹ with x χ y ⇔ y χ⁻¹ x. The id-axis has no
+// syntactic inverse; callers must use ApplyInverse for it (the paper's
+// F[[Op]]⁻¹), and Inverse panics to make misuse loud.
+func (a Axis) Inverse() Axis {
+	switch a {
+	case Self:
+		return Self
+	case Child:
+		return Parent
+	case Parent:
+		return Child
+	case Descendant:
+		return Ancestor
+	case Ancestor:
+		return Descendant
+	case DescendantOrSelf:
+		return AncestorOrSelf
+	case AncestorOrSelf:
+		return DescendantOrSelf
+	case Following:
+		return Preceding
+	case Preceding:
+		return Following
+	case FollowingSibling:
+		return PrecedingSibling
+	case PrecedingSibling:
+		return FollowingSibling
+	}
+	panic("axes: Inverse of " + a.String())
+}
+
+// Apply computes χ(X) in O(|D|) (Definition 1).
+func Apply(a Axis, x *xmltree.Set) *xmltree.Set {
+	doc := x.Document()
+	out := xmltree.NewSet(doc)
+	if x.IsEmpty() {
+		return out
+	}
+	switch a {
+	case Self:
+		out.UnionWith(x)
+
+	case Child:
+		// y ∈ child(X) iff parent(y) ∈ X: one scan over dom.
+		for _, n := range doc.Nodes() {
+			if p := n.Parent(); p != nil && x.Has(p) {
+				out.Add(n)
+			}
+		}
+
+	case Parent:
+		x.ForEach(func(n *xmltree.Node) {
+			if p := n.Parent(); p != nil {
+				out.Add(p)
+			}
+		})
+
+	case Descendant, DescendantOrSelf:
+		// One preorder scan carrying "some proper ancestor is in X". The
+		// document-order slice is a preorder, so a node's ancestors have
+		// already been classified when it is reached; memoize per node via
+		// a flags array indexed by pre.
+		marked := make([]bool, doc.NumNodes())
+		for _, n := range doc.Nodes() {
+			p := n.Parent()
+			if p != nil && (marked[p.Pre()] || x.Has(p)) {
+				marked[n.Pre()] = true
+				out.Add(n)
+			}
+		}
+		if a == DescendantOrSelf {
+			out.UnionWith(x)
+		}
+
+	case Ancestor, AncestorOrSelf:
+		// y is an ancestor of some x ∈ X iff some child subtree of y
+		// contains an X node. Postorder aggregation: scan dom in reverse
+		// preorder; by then every child has been classified.
+		contains := make([]bool, doc.NumNodes())
+		nodes := doc.Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n := nodes[i]
+			c := x.Has(n)
+			if !c {
+				for _, k := range n.Children() {
+					if contains[k.Pre()] {
+						c = true
+						break
+					}
+				}
+			}
+			contains[n.Pre()] = c
+			if p := n.Parent(); c && p != nil {
+				out.Add(p)
+			}
+		}
+		// The loop adds parents of subtrees containing X members, i.e. all
+		// proper ancestors, because containment propagates upward.
+		// Fill transitively: a parent added above may itself have ancestors
+		// that were only discovered via the same child chain; the contains
+		// flags make the loop already transitive since contains[n] is true
+		// whenever any descendant is in X.
+		if a == AncestorOrSelf {
+			out.UnionWith(x)
+		}
+
+	case Following:
+		// y follows some x ∈ X iff start(y) > end(x) for the x with the
+		// smallest end event. One pass to find it, one pass to collect.
+		minEnd := -1
+		x.ForEach(func(n *xmltree.Node) {
+			if minEnd == -1 || nodeEnd(n) < minEnd {
+				minEnd = nodeEnd(n)
+			}
+		})
+		for _, n := range doc.Nodes() {
+			if nodeStart(n) > minEnd {
+				out.Add(n)
+			}
+		}
+
+	case Preceding:
+		// y precedes some x ∈ X iff end(y) < start(x) for the x with the
+		// largest start event. Ancestors are excluded by the event test.
+		maxStart := -1
+		x.ForEach(func(n *xmltree.Node) {
+			if nodeStart(n) > maxStart {
+				maxStart = nodeStart(n)
+			}
+		})
+		for _, n := range doc.Nodes() {
+			if nodeEnd(n) < maxStart {
+				out.Add(n)
+			}
+		}
+
+	case FollowingSibling:
+		// For each parent, collect children positioned after the first
+		// X-child. Total work is Σ children = O(|D|).
+		seen := make(map[*xmltree.Node]int) // parent → index of first X child
+		x.ForEach(func(n *xmltree.Node) {
+			p := n.Parent()
+			if p == nil {
+				return
+			}
+			idx := childIndex(n)
+			if old, ok := seen[p]; !ok || idx < old {
+				seen[p] = idx
+			}
+		})
+		for p, idx := range seen {
+			kids := p.Children()
+			for _, k := range kids[idx+1:] {
+				out.Add(k)
+			}
+		}
+
+	case PrecedingSibling:
+		seen := make(map[*xmltree.Node]int) // parent → index of last X child
+		x.ForEach(func(n *xmltree.Node) {
+			p := n.Parent()
+			if p == nil {
+				return
+			}
+			idx := childIndex(n)
+			if old, ok := seen[p]; !ok || idx > old {
+				seen[p] = idx
+			}
+		})
+		for p, idx := range seen {
+			kids := p.Children()
+			for _, k := range kids[:idx] {
+				out.Add(k)
+			}
+		}
+
+	case ID:
+		x.ForEach(func(n *xmltree.Node) {
+			out.UnionWith(doc.DerefIDs(n.StringValue()))
+		})
+
+	default:
+		panic("axes: Apply: unknown axis " + a.String())
+	}
+	return out
+}
+
+// ApplyInverse computes χ⁻¹(Y) (Definition 1). For the structural axes this
+// is Apply of the symmetric axis; for the id-axis it is the F[[Op]]⁻¹
+// computation of Section 6: all x whose string value dereferences to a node
+// of Y.
+func ApplyInverse(a Axis, y *xmltree.Set) *xmltree.Set {
+	if a != ID {
+		return Apply(a.Inverse(), y)
+	}
+	doc := y.Document()
+	out := xmltree.NewSet(doc)
+	if y.IsEmpty() {
+		return out
+	}
+	for _, n := range doc.Nodes() {
+		if n.IsRoot() {
+			continue
+		}
+		if doc.DerefIDs(n.StringValue()).Intersects(y) {
+			out.Add(n)
+		}
+	}
+	return out
+}
+
+// childIndex returns n's position among its parent's children, precomputed
+// at document-build time so the sibling-axis functions stay O(|D|).
+func childIndex(n *xmltree.Node) int { return n.SiblingIndex() }
+
+// nodeStart/nodeEnd expose the event numbering through the xmltree API.
+func nodeStart(n *xmltree.Node) int { return n.StartEvent() }
+func nodeEnd(n *xmltree.Node) int   { return n.EndEvent() }

@@ -1,0 +1,174 @@
+package axes
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Neighborhood returns the candidate list {z ∈ dom ∪ {root} | x χ z} in the
+// order <doc,χ of Section 2.1: document order for the forward axes, reverse
+// document order for the backward axes. This is the list the MINCONTEXT
+// position/size loops (Section 6 pseudo-code: "let Z = {z1,…,zm} ordered
+// according to axis χ") iterate; idxχ(z, Z) is the 1-based slice index.
+//
+// The result is appended to dst, which may be nil; the returned slice is
+// valid until dst is reused.
+func Neighborhood(a Axis, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node {
+	switch a {
+	case Self:
+		dst = append(dst, x)
+
+	case Child:
+		dst = append(dst, x.Children()...)
+
+	case Parent:
+		if p := x.Parent(); p != nil {
+			dst = append(dst, p)
+		}
+
+	case Descendant, DescendantOrSelf:
+		if a == DescendantOrSelf {
+			dst = append(dst, x)
+		}
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			for _, c := range n.Children() {
+				dst = append(dst, c)
+				walk(c)
+			}
+		}
+		walk(x)
+
+	case Ancestor, AncestorOrSelf:
+		// Reverse document order: nearest ancestor first.
+		if a == AncestorOrSelf {
+			dst = append(dst, x)
+		}
+		for p := x.Parent(); p != nil; p = p.Parent() {
+			dst = append(dst, p)
+		}
+
+	case Following:
+		// All nodes whose start event is after x's end event, in document
+		// order. One scan of the document-order node slice suffices.
+		end := x.EndEvent()
+		for _, n := range x.Document().Nodes() {
+			if n.StartEvent() > end {
+				dst = append(dst, n)
+			}
+		}
+
+	case Preceding:
+		// All nodes whose end event is before x's start event, in reverse
+		// document order.
+		start := x.StartEvent()
+		nodes := x.Document().Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			if nodes[i].EndEvent() < start {
+				dst = append(dst, nodes[i])
+			}
+		}
+
+	case FollowingSibling:
+		dst = append(dst, x.FollowingSiblings()...)
+
+	case PrecedingSibling:
+		// Reverse document order: nearest sibling first.
+		sibs := x.PrecedingSiblings()
+		for i := len(sibs) - 1; i >= 0; i-- {
+			dst = append(dst, sibs[i])
+		}
+
+	case ID:
+		// Document order, per <doc,id being standard document order.
+		dst = x.Document().DerefIDs(x.StringValue()).AppendTo(dst)
+
+	default:
+		panic("axes: Neighborhood: unknown axis " + a.String())
+	}
+	return dst
+}
+
+// NeighborhoodFiltered returns Neighborhood(a, x) restricted to members of
+// keep, preserving the <doc,χ order. It is the "Z := {z ∈ Y | x χ z}" step
+// of the Section 6 pseudo-code.
+func NeighborhoodFiltered(a Axis, x *xmltree.Node, keep *xmltree.Set, dst []*xmltree.Node) []*xmltree.Node {
+	switch a {
+	// For the scan-based axes it is cheaper to test membership inline.
+	case Following:
+		end := x.EndEvent()
+		keep.ForEach(func(n *xmltree.Node) {
+			if n.StartEvent() > end {
+				dst = append(dst, n)
+			}
+		})
+		return dst
+	case Preceding:
+		start := x.StartEvent()
+		keep.ForEachReverse(func(n *xmltree.Node) {
+			if n.EndEvent() < start {
+				dst = append(dst, n)
+			}
+		})
+		return dst
+	case Descendant, DescendantOrSelf:
+		s, e := x.StartEvent(), x.EndEvent()
+		keep.ForEach(func(n *xmltree.Node) {
+			if n.StartEvent() > s && n.EndEvent() < e {
+				dst = append(dst, n)
+			} else if a == DescendantOrSelf && n == x {
+				dst = append(dst, n)
+			}
+		})
+		return dst
+	}
+	all := Neighborhood(a, x, nil)
+	for _, n := range all {
+		if keep.Has(n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// Related reports whether x χ y holds, in O(1) for the structural axes and
+// O(|strval(x)|) for the id-axis.
+func Related(a Axis, x, y *xmltree.Node) bool {
+	switch a {
+	case Self:
+		return x == y
+	case Child:
+		return y.Parent() == x
+	case Parent:
+		return x.Parent() == y
+	case Descendant:
+		return y.IsDescendantOf(x)
+	case Ancestor:
+		return y.IsAncestorOf(x)
+	case DescendantOrSelf:
+		return x == y || y.IsDescendantOf(x)
+	case AncestorOrSelf:
+		return x == y || y.IsAncestorOf(x)
+	case Following:
+		return y.StartEvent() > x.EndEvent()
+	case Preceding:
+		return y.EndEvent() < x.StartEvent()
+	case FollowingSibling:
+		return x.Parent() != nil && y.Parent() == x.Parent() && y.SiblingIndex() > x.SiblingIndex()
+	case PrecedingSibling:
+		return x.Parent() != nil && y.Parent() == x.Parent() && y.SiblingIndex() < x.SiblingIndex()
+	case ID:
+		return x.Document().DerefIDs(x.StringValue()).Has(y)
+	}
+	panic("axes: Related: unknown axis " + a.String())
+}
+
+// OrderBy sorts nodes into the <doc,χ order of the axis: document order for
+// forward axes, reverse document order for backward axes. It sorts in place.
+func OrderBy(a Axis, nodes []*xmltree.Node) {
+	xmltree.SortDocOrder(nodes)
+	if a.IsReverse() {
+		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package bench is the experiment harness behind EXPERIMENTS.md: it runs
+// the parameter sweeps E5–E13 of DESIGN.md, measures wall-clock time and
+// the engines' instrumentation counters, fits growth exponents, and prints
+// paper-style tables. cmd/xpathbench is its CLI; the root bench_test.go
+// exposes the same workloads as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/xmltree"
+)
+
+// Measurement is one cell of an experiment table.
+type Measurement struct {
+	Time  time.Duration
+	Stats engine.Stats
+	Err   error
+}
+
+// Run evaluates the query on the engine, returning the best-of-k wall time
+// and the (deterministic) stats of one evaluation.
+func Run(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, reps int) Measurement {
+	ctx := engine.RootContext(doc)
+	var m Measurement
+	var err error
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		_, st, e := eng.Evaluate(q, doc, ctx)
+		d := time.Since(start)
+		if e != nil {
+			err = e
+			break
+		}
+		if d < best {
+			best = d
+		}
+		m.Stats = st
+	}
+	m.Time = best
+	m.Err = err
+	return m
+}
+
+// Table is a printable experiment result: one row per parameter value, one
+// column group per engine.
+type Table struct {
+	Title   string
+	Note    string
+	Param   string   // e.g. "|D|" or "i (query steps)"
+	Columns []string // engine names
+	Metric  string   // "time", "cells", "contexts"
+	Params  []int
+	Cells   map[string][]string // column → rendered cells, aligned to Params
+	FitNote map[string]string   // column → fitted growth annotation
+}
+
+// NewTable prepares a table for the given parameter values and columns.
+func NewTable(title, note, param, metric string, params []int, cols []string) *Table {
+	t := &Table{Title: title, Note: note, Param: param, Metric: metric,
+		Params: params, Columns: cols,
+		Cells:   make(map[string][]string, len(cols)),
+		FitNote: make(map[string]string, len(cols)),
+	}
+	for _, c := range cols {
+		t.Cells[c] = make([]string, len(params))
+	}
+	return t
+}
+
+// Set records a rendered cell.
+func (t *Table) Set(col string, rowIdx int, cell string) { t.Cells[col][rowIdx] = cell }
+
+// SetDuration records a time cell.
+func (t *Table) SetDuration(col string, rowIdx int, d time.Duration) {
+	t.Set(col, rowIdx, formatDuration(d))
+}
+
+// SetCount records a counter cell.
+func (t *Table) SetCount(col string, rowIdx int, v int64) {
+	t.Set(col, rowIdx, formatCount(v))
+}
+
+// Fit annotates a column with the fitted growth exponent over the rows,
+// treating the parameter as x and the measured value as y.
+func (t *Table) Fit(col string, ys []float64) {
+	xs := make([]float64, len(t.Params))
+	for i, p := range t.Params {
+		xs[i] = float64(p)
+	}
+	t.FitNote[col] = fmt.Sprintf("~n^%.2f", FitExponent(xs, ys))
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	width := utf8.RuneCountInString
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = width(t.Param)
+	if len(t.FitNote) > 0 && widths[0] < len("fit") {
+		widths[0] = len("fit")
+	}
+	for _, p := range t.Params {
+		if l := width(fmt.Sprint(p)); l > widths[0] {
+			widths[0] = l
+		}
+	}
+	for c, col := range t.Columns {
+		widths[c+1] = width(col)
+		for _, cell := range t.Cells[col] {
+			if width(cell) > widths[c+1] {
+				widths[c+1] = width(cell)
+			}
+		}
+		if fit := t.FitNote[col]; width(fit) > widths[c+1] {
+			widths[c+1] = width(fit)
+		}
+	}
+	pad := func(s string, wd int) string {
+		if n := wd - width(s); n > 0 {
+			return strings.Repeat(" ", n) + s
+		}
+		return s
+	}
+	fmt.Fprintf(w, "   %s", pad(t.Param, widths[0]))
+	for c, col := range t.Columns {
+		fmt.Fprintf(w, "  %s", pad(col, widths[c+1]))
+	}
+	fmt.Fprintln(w)
+	for i, p := range t.Params {
+		fmt.Fprintf(w, "   %s", pad(fmt.Sprint(p), widths[0]))
+		for c, col := range t.Columns {
+			fmt.Fprintf(w, "  %s", pad(t.Cells[col][i], widths[c+1]))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(t.FitNote) > 0 {
+		fmt.Fprintf(w, "   %s", pad("fit", widths[0]))
+		for c, col := range t.Columns {
+			fmt.Fprintf(w, "  %s", pad(t.FitNote[col], widths[c+1]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// FitExponent returns the slope of the least-squares line through
+// (log x, log y): the empirical growth exponent of y ≈ c·x^k. Non-positive
+// values are clamped to a tiny epsilon so cold cells do not produce ±Inf.
+func FitExponent(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if xs[i] <= 0 {
+			continue
+		}
+		y := ys[i]
+		if y <= 0 {
+			y = 1e-12
+		}
+		lx, ly := math.Log(xs[i]), math.Log(y)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	fn := float64(n)
+	return (fn*sxy - sx*sy) / (fn*sxx - sx*sx)
+}
+
+// DoublingRatio returns the geometric mean of successive ratios y[i+1]/y[i]
+// — ≈2 indicates the exponential doubling of experiment E5.
+func DoublingRatio(ys []float64) float64 {
+	if len(ys) < 2 {
+		return math.NaN()
+	}
+	prod := 1.0
+	n := 0
+	for i := 1; i < len(ys); i++ {
+		if ys[i-1] > 0 {
+			prod *= ys[i] / ys[i-1]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func formatCount(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// SortedKeys is a small helper for deterministic map iteration in reports.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestFitExponent(t *testing.T) {
+	// y = x²  →  exponent 2.
+	xs := []float64{10, 20, 40, 80}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	if got := FitExponent(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("FitExponent(x²) = %v", got)
+	}
+	// Constant → 0.
+	if got := FitExponent(xs, []float64{5, 5, 5, 5}); math.Abs(got) > 1e-9 {
+		t.Errorf("FitExponent(const) = %v", got)
+	}
+	// Too few points → NaN.
+	if got := FitExponent([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("FitExponent(1 point) = %v", got)
+	}
+}
+
+func TestDoublingRatio(t *testing.T) {
+	if got := DoublingRatio([]float64{1, 2, 4, 8}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("DoublingRatio = %v", got)
+	}
+	if got := DoublingRatio([]float64{3}); !math.IsNaN(got) {
+		t.Errorf("DoublingRatio(1 value) = %v", got)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := NewTable("demo", "a note", "|D|", "time", []int{10, 100}, []string{"x", "y"})
+	tab.SetDuration("x", 0, 1500*time.Nanosecond)
+	tab.SetDuration("x", 1, 2*time.Millisecond)
+	tab.SetCount("y", 0, 12)
+	tab.SetCount("y", 1, 120000)
+	tab.Fit("y", []float64{12, 120000})
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "a note", "|D|", "1.5µs", "2.00ms", "120.0k", "fit", "~n^"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMeasurement(t *testing.T) {
+	doc := workload.Figure2()
+	q := mustCompile(`/descendant::d`)
+	m := Run(core.NewOptMinContext(), q, doc, 3)
+	if m.Err != nil {
+		t.Fatal(m.Err)
+	}
+	if m.Time <= 0 {
+		t.Error("no time measured")
+	}
+}
+
+// TestExperimentsSmoke runs every experiment at minimum size to guard the
+// harness itself against regressions. The real sweeps run via
+// cmd/xpathbench and the root benchmarks.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Config{Reps: 1, Sizes: []int{20, 40}, SmallSizes: []int{10, 20}, MaxDouble: 6}
+	var buf bytes.Buffer
+	RunAll(&buf, cfg)
+	out := buf.String()
+	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %s", want)
+		}
+	}
+	if strings.Contains(out, "disagreements") {
+		// E13 must report zero disagreements in each row.
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "limit") {
+				continue
+			}
+		}
+	}
+}
+
+// TestE13NoDisagreements asserts the differential experiment reports zero
+// disagreements.
+func TestE13NoDisagreements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	tab := E13(Config{Reps: 1}.Defaults())
+	for i := range tab.Params {
+		if got := tab.Cells["disagreements"][i]; got != "0" {
+			t.Errorf("seed row %d: %s disagreements", i, got)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package bench
+
+// Claims tests: the space statements of EXPERIMENTS.md, asserted as test
+// invariants. Table-cell counts are deterministic (no timing involved), so
+// the fitted growth exponents are stable and can gate regressions: if an
+// engine's table layout loses its complexity class, these tests fail.
+
+import (
+	"testing"
+
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+)
+
+var (
+	naiveEngine     = naive.New()
+	coreXPathEngine = corexpath.New()
+)
+
+// cellExponent measures the growth exponent of table cells over |D| for an
+// engine on a query, using nested documents.
+func cellExponent(t *testing.T, eng engine.Engine, src string, sizes []int) float64 {
+	t.Helper()
+	q := mustCompile(src)
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, n := range sizes {
+		doc := workload.Nested(n)
+		m := Run(eng, q, doc, 1)
+		if m.Err != nil {
+			t.Fatalf("%s on %q at |D|=%d: %v", eng.Name(), src, n, m.Err)
+		}
+		xs[i] = float64(n)
+		ys[i] = float64(m.Stats.TableCells)
+	}
+	return FitExponent(xs, ys)
+}
+
+// TestClaimE7SpaceClasses: on the §2.4 query, the space classes separate as
+// §3.1 predicts — E↑ cubic, E↓ superlinear, MINCONTEXT ≈ linear,
+// OPTMINCONTEXT ≈ linear.
+func TestClaimE7SpaceClasses(t *testing.T) {
+	sizes := []int{20, 40, 60, 80}
+	src := workload.PositionHeavy()
+
+	up := cellExponent(t, bottomup.New(), src, sizes)
+	if up < 2.7 {
+		t.Errorf("E↑ cell exponent %.2f, expected ≥ 2.7 (≈|D|³ tables)", up)
+	}
+	down := cellExponent(t, topdown.New(), src, sizes)
+	if down < 1.4 {
+		t.Errorf("E↓ cell exponent %.2f, expected ≥ 1.4 (pair relations)", down)
+	}
+	minc := cellExponent(t, core.NewMinContext(), src, sizes)
+	if minc > 1.3 {
+		t.Errorf("MINCONTEXT cell exponent %.2f, expected ≈ 1 (Relev-reduced tables)", minc)
+	}
+	opt := cellExponent(t, core.NewOptMinContext(), src, sizes)
+	if opt > 1.3 {
+		t.Errorf("OPTMINCONTEXT cell exponent %.2f, expected ≈ 1", opt)
+	}
+	// And the ordering: each refinement is at least as compact.
+	if !(up > down && down > minc) {
+		t.Errorf("space-class ordering violated: E↑ %.2f, E↓ %.2f, MINCONTEXT %.2f", up, down, minc)
+	}
+}
+
+// TestClaimTheorem10Space: on a Wadler query whose inner path relation is
+// quadratic, OPTMINCONTEXT stays linear while MINCONTEXT goes quadratic.
+func TestClaimTheorem10Space(t *testing.T) {
+	sizes := []int{50, 100, 200, 400}
+	src := `/descendant::*[preceding-sibling::*/preceding::* = 100]`
+
+	opt := cellExponent(t, core.NewOptMinContext(), src, sizes)
+	if opt > 1.2 {
+		t.Errorf("OPTMINCONTEXT cell exponent %.2f, Theorem 10 promises ≈ 1", opt)
+	}
+	minc := cellExponent(t, core.NewMinContext(), src, sizes)
+	if minc < 1.6 {
+		t.Errorf("MINCONTEXT cell exponent %.2f, expected ≈ 2 on this query", minc)
+	}
+}
+
+// TestClaimE12OutermostSets: the outermost-set optimization keeps the
+// §2.4-style query linear in cells; the relation representation does not.
+func TestClaimE12OutermostSets(t *testing.T) {
+	sizes := []int{50, 100, 200, 400}
+	src := `/descendant::*/descendant::*[self::* = 100]`
+
+	set := cellExponent(t, core.NewMinContext(), src, sizes)
+	rel := cellExponent(t, core.NewMinContextWith(core.Options{DisableOutermostSet: true}), src, sizes)
+	if set > 1.2 {
+		t.Errorf("set representation exponent %.2f, expected ≈ 1", set)
+	}
+	if rel <= set+0.15 {
+		t.Errorf("relation representation exponent %.2f not clearly above set's %.2f", rel, set)
+	}
+}
+
+// TestClaimNaiveExponential: the naive engine's work doubles per appended
+// parent/child round trip (deterministic context counts, no timing).
+func TestClaimNaiveExponential(t *testing.T) {
+	doc := workload.Doubling()
+	q8 := mustCompile(workload.DoublingQuery(8))
+	q10 := mustCompile(workload.DoublingQuery(10))
+	eng := newNaive()
+	m8 := Run(eng, q8, doc, 1)
+	m10 := Run(eng, q10, doc, 1)
+	ratio := float64(m10.Stats.ContextsEvaluated) / float64(m8.Stats.ContextsEvaluated)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("work ratio over two steps = %.2f, want ≈ 4 (doubling per step)", ratio)
+	}
+}
+
+// TestClaimCoreXPathLinearCells: the dedicated Core XPath engine's cells
+// grow linearly.
+func TestClaimCoreXPathLinearCells(t *testing.T) {
+	sizes := []int{100, 200, 400, 800}
+	src := `/descendant::b[child::d]/child::c`
+	exp := cellExponent(t, newCoreXPath(), src, sizes)
+	if exp > 1.15 {
+		t.Errorf("Core XPath cell exponent %.2f, Theorem 13 promises 1", exp)
+	}
+}
+
+// Constructors routed through tiny helpers so the imports stay tidy.
+func newNaive() engine.Engine     { return naiveEngine }
+func newCoreXPath() engine.Engine { return coreXPathEngine }

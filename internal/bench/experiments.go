@@ -1,0 +1,380 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/syntax"
+	"repro/internal/topdown"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+// Config scales the experiment sweeps. Zero fields take defaults sized for
+// a laptop run of a few minutes total.
+type Config struct {
+	Reps       int   // repetitions per timing cell (best-of)
+	Sizes      []int // |D| sweep for the scaling experiments
+	SmallSizes []int // |D| sweep for the E↑/E↓ experiments (|D|³+ growth)
+	MaxDouble  int   // last i of the E5 doubling-query family
+}
+
+// Defaults fills in unset fields.
+func (c Config) Defaults() Config {
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{50, 100, 200, 400, 800}
+	}
+	if len(c.SmallSizes) == 0 {
+		c.SmallSizes = []int{20, 40, 60, 80}
+	}
+	if c.MaxDouble == 0 {
+		c.MaxDouble = 20
+	}
+	return c
+}
+
+func mustCompile(src string) *syntax.Query {
+	q, err := syntax.Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("bench: compile %q: %v", src, err))
+	}
+	return q
+}
+
+// E5 reproduces the §1 claim carried over from [11]: contemporary engines
+// (represented by the naive strategy, see DESIGN.md §3) take time
+// exponential in the query size, while every polynomial engine stays flat.
+func E5(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	doc := workload.Doubling()
+	cols := []string{"naive", "topdown", "mincontext", "optmincontext"}
+	params := []int{}
+	for i := 2; i <= cfg.MaxDouble; i += 2 {
+		params = append(params, i)
+	}
+	t := NewTable(
+		"E5 — exponential query-size blowup (§1, [11] experiments)",
+		fmt.Sprintf("document: <a><b/><b/></a> (|D|=%d); query_i = //b(/parent::a/child::b)^i; metric: wall time", doc.Size()),
+		"i", "time", params, cols)
+	naiveTimes := make([]float64, 0, len(params))
+	engines := map[string]engine.Engine{
+		"naive": naive.New(), "topdown": topdown.New(),
+		"mincontext": core.NewMinContext(), "optmincontext": core.NewOptMinContext(),
+	}
+	for row, i := range params {
+		q := mustCompile(workload.DoublingQuery(i))
+		for _, col := range cols {
+			m := Run(engines[col], q, doc, cfg.Reps)
+			if m.Err != nil {
+				t.Set(col, row, "limit")
+				continue
+			}
+			t.SetDuration(col, row, m.Time)
+			if col == "naive" {
+				naiveTimes = append(naiveTimes, float64(m.Time))
+			}
+		}
+	}
+	// Parameters advance by two steps per row; report the per-step factor.
+	t.FitNote["naive"] = fmt.Sprintf("×%.2f/step", math.Sqrt(DoublingRatio(naiveTimes)))
+	return t
+}
+
+// E6 verifies the Theorem 7 time improvement: on the paper's running query
+// (position()/last() predicate), MINCONTEXT scales at least one |D|-factor
+// better than the E↓ baseline.
+func E6(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	q := mustCompile(workload.PositionHeavy())
+	cols := []string{"topdown", "mincontext", "optmincontext"}
+	t := NewTable(
+		"E6 — Theorem 7 time scaling on the §2.4 query",
+		"query: "+workload.PositionHeavy()+"; nested documents (deep descendant relations); metric: wall time",
+		"|D|", "time", cfg.Sizes, cols)
+	engines := map[string]engine.Engine{
+		"topdown": topdown.New(), "mincontext": core.NewMinContext(),
+		"optmincontext": core.NewOptMinContext(),
+	}
+	times := map[string][]float64{}
+	for row, n := range cfg.Sizes {
+		doc := workload.Nested(n)
+		for _, col := range cols {
+			m := Run(engines[col], q, doc, cfg.Reps)
+			t.SetDuration(col, row, m.Time)
+			times[col] = append(times[col], float64(m.Time))
+		}
+	}
+	for _, col := range cols {
+		t.Fit(col, times[col])
+	}
+	return t
+}
+
+// E7 verifies the Theorem 7 space improvement, measured in context-value
+// table cells: E↑ grows ≈|D|³ on scalar tables, E↓ with the pair relation,
+// MINCONTEXT stays ≈|D|·|Q| plus the outermost sets.
+func E7(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	q := mustCompile(workload.PositionHeavy())
+	cols := []string{"bottomup", "topdown", "mincontext", "optmincontext"}
+	t := NewTable(
+		"E7 — Theorem 7 space (context-value table cells)",
+		"query: "+workload.PositionHeavy()+"; nested documents; metric: table cells written",
+		"|D|", "cells", cfg.SmallSizes, cols)
+	engines := map[string]engine.Engine{
+		"bottomup": bottomup.New(), "topdown": topdown.New(),
+		"mincontext": core.NewMinContext(), "optmincontext": core.NewOptMinContext(),
+	}
+	cells := map[string][]float64{}
+	for row, n := range cfg.SmallSizes {
+		doc := workload.Nested(n)
+		for _, col := range cols {
+			m := Run(engines[col], q, doc, 1)
+			if m.Err != nil {
+				t.Set(col, row, "limit")
+				cells[col] = append(cells[col], 0)
+				continue
+			}
+			t.SetCount(col, row, m.Stats.TableCells)
+			cells[col] = append(cells[col], float64(m.Stats.TableCells))
+		}
+	}
+	for _, col := range cols {
+		t.Fit(col, cells[col])
+	}
+	return t
+}
+
+// E8 verifies Theorem 10: Extended Wadler queries run in quadratic time and
+// linear table space under OPTMINCONTEXT; plain MINCONTEXT pays more.
+func E8(cfg Config) []*Table {
+	cfg = cfg.Defaults()
+	var out []*Table
+	for _, src := range workload.WadlerQueries() {
+		q := mustCompile(src)
+		cols := []string{"optmincontext(time)", "mincontext(time)",
+			"optmincontext(cells)", "mincontext(cells)"}
+		t := NewTable(
+			"E8 — Theorem 10 (Extended Wadler Fragment)",
+			"query: "+src, "|D|", "mixed", cfg.Sizes, cols)
+		opt, min := core.NewOptMinContext(), core.NewMinContext()
+		optCells, minCells := []float64{}, []float64{}
+		optTime := []float64{}
+		for row, n := range cfg.Sizes {
+			doc := workload.Scaled(n)
+			mo := Run(opt, q, doc, cfg.Reps)
+			mm := Run(min, q, doc, cfg.Reps)
+			t.SetDuration("optmincontext(time)", row, mo.Time)
+			t.SetDuration("mincontext(time)", row, mm.Time)
+			t.SetCount("optmincontext(cells)", row, mo.Stats.TableCells)
+			t.SetCount("mincontext(cells)", row, mm.Stats.TableCells)
+			optCells = append(optCells, float64(mo.Stats.TableCells))
+			minCells = append(minCells, float64(mm.Stats.TableCells))
+			optTime = append(optTime, float64(mo.Time))
+		}
+		t.Fit("optmincontext(cells)", optCells)
+		t.Fit("mincontext(cells)", minCells)
+		t.Fit("optmincontext(time)", optTime)
+		out = append(out, t)
+	}
+	return out
+}
+
+// E9 verifies Theorem 13: Core XPath paths evaluate in linear time, and
+// OPTMINCONTEXT matches the dedicated linear engine's growth.
+func E9(cfg Config) []*Table {
+	cfg = cfg.Defaults()
+	var out []*Table
+	for _, src := range workload.CoreQueries() {
+		q := mustCompile(src)
+		cols := []string{"corexpath", "optmincontext", "mincontext"}
+		t := NewTable(
+			"E9 — Theorem 13 (Core XPath, linear time)",
+			"query: "+src, "|D|", "time", cfg.Sizes, cols)
+		engines := map[string]engine.Engine{
+			"corexpath": corexpath.New(), "optmincontext": core.NewOptMinContext(),
+			"mincontext": core.NewMinContext(),
+		}
+		times := map[string][]float64{}
+		for row, n := range cfg.Sizes {
+			doc := workload.Scaled(n)
+			for _, col := range cols {
+				m := Run(engines[col], q, doc, cfg.Reps)
+				if m.Err != nil {
+					t.Set(col, row, "n/a")
+					continue
+				}
+				t.SetDuration(col, row, m.Time)
+				times[col] = append(times[col], float64(m.Time))
+			}
+		}
+		for _, col := range cols {
+			if len(times[col]) == len(cfg.Sizes) {
+				t.Fit(col, times[col])
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// E10 verifies Corollary 11: a Wadler subexpression inside a non-Wadler
+// query still gets the bottom-up treatment under OPTMINCONTEXT.
+func E10(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	src := workload.MixedQuery()
+	q := mustCompile(src)
+	cols := []string{"optmincontext(time)", "mincontext(time)",
+		"optmincontext(cells)", "mincontext(cells)"}
+	t := NewTable(
+		"E10 — Corollary 11 (Wadler subexpression in a full-XPath query)",
+		"query: "+src+"; nested documents", "|D|", "mixed", cfg.Sizes, cols)
+	opt, min := core.NewOptMinContext(), core.NewMinContext()
+	for row, n := range cfg.Sizes {
+		doc := workload.Nested(n)
+		mo := Run(opt, q, doc, cfg.Reps)
+		mm := Run(min, q, doc, cfg.Reps)
+		t.SetDuration("optmincontext(time)", row, mo.Time)
+		t.SetDuration("mincontext(time)", row, mm.Time)
+		t.SetCount("optmincontext(cells)", row, mo.Stats.TableCells)
+		t.SetCount("mincontext(cells)", row, mm.Stats.TableCells)
+	}
+	return t
+}
+
+// E11 measures the §3.1 "restriction to the relevant context" ablation:
+// single-context evaluations explode when nothing is tabled.
+func E11(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	// The descendant::c = 100 subterm has Relev = {cn}: tabled once per
+	// candidate under MINCONTEXT, recomputed per previous/current pair when
+	// the restriction is disabled.
+	src := `/descendant::*/descendant::*[descendant::c = 100 or position() > last()*0.5]`
+	q := mustCompile(src)
+	cols := []string{"mincontext(contexts)", "norelev(contexts)",
+		"mincontext(cells)", "norelev(cells)",
+		"mincontext(time)", "norelev(time)"}
+	t := NewTable(
+		"E11 — ablation: relevant-context restriction off (§3.1)",
+		"query: "+src+"; nested documents. Without the restriction nothing scalar is tabled:"+
+			" fewer cells, but every predicate subtree is recomputed per context"+
+			" (the |D|³-table alternative is E7's bottomup column)",
+		"|D|", "mixed", cfg.SmallSizes, cols)
+	on := core.NewMinContext()
+	off := core.NewMinContextWith(core.Options{DisableRelev: true})
+	for row, n := range cfg.SmallSizes {
+		doc := workload.Nested(n)
+		mo := Run(on, q, doc, cfg.Reps)
+		mf := Run(off, q, doc, cfg.Reps)
+		t.SetCount("mincontext(contexts)", row, mo.Stats.ContextsEvaluated)
+		t.SetCount("norelev(contexts)", row, mf.Stats.ContextsEvaluated)
+		t.SetCount("mincontext(cells)", row, mo.Stats.TableCells)
+		t.SetCount("norelev(cells)", row, mf.Stats.TableCells)
+		t.SetDuration("mincontext(time)", row, mo.Time)
+		t.SetDuration("norelev(time)", row, mf.Time)
+	}
+	return t
+}
+
+// E12 measures the §3.1 outermost-path-as-set ablation: the dom × 2^dom
+// relation costs quadratic cells where sets cost linear.
+func E12(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	src := `/descendant::*/descendant::*[self::* = 100]`
+	q := mustCompile(src)
+	cols := []string{"mincontext(cells)", "noouterset(cells)"}
+	t := NewTable(
+		"E12 — ablation: outermost location paths as relations (§3.1)",
+		"query: "+src+"; nested documents (Example 4's 2-dimensional tables)",
+		"|D|", "cells", cfg.Sizes, cols)
+	on := core.NewMinContext()
+	off := core.NewMinContextWith(core.Options{DisableOutermostSet: true})
+	onC, offC := []float64{}, []float64{}
+	for row, n := range cfg.Sizes {
+		doc := workload.Nested(n)
+		mo := Run(on, q, doc, 1)
+		mf := Run(off, q, doc, 1)
+		t.SetCount("mincontext(cells)", row, mo.Stats.TableCells)
+		t.SetCount("noouterset(cells)", row, mf.Stats.TableCells)
+		onC = append(onC, float64(mo.Stats.TableCells))
+		offC = append(offC, float64(mf.Stats.TableCells))
+	}
+	t.Fit("mincontext(cells)", onC)
+	t.Fit("noouterset(cells)", offC)
+	return t
+}
+
+// E13 runs the differential agreement sweep and reports the number of
+// (query, document, engine) checks that agreed.
+func E13(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	engines := map[string]engine.Engine{
+		"topdown": topdown.New(), "bottomup": bottomup.New(),
+		"mincontext": core.NewMinContext(), "optmincontext": core.NewOptMinContext(),
+		"naive": naive.New(),
+	}
+	params := []int{1, 2, 3, 4}
+	cols := []string{"queries", "checks", "disagreements"}
+	t := NewTable(
+		"E13 — cross-engine differential agreement",
+		"random documents (|D|≈60) × random queries; all engines must agree",
+		"doc seed", "counts", params, cols)
+	for row, seed := range params {
+		doc := workload.Random(60, int64(seed))
+		checks, disagreements, queries := 0, 0, 0
+		for qs := int64(1); qs <= 60; qs++ {
+			q := mustCompile(workload.RandomQuery(int64(seed)*1000 + qs))
+			queries++
+			ref, _, refErr := engines["topdown"].Evaluate(q, doc, engine.RootContext(doc))
+			if refErr != nil {
+				continue
+			}
+			for name, eng := range engines {
+				if name == "topdown" {
+					continue
+				}
+				got, _, err := eng.Evaluate(q, doc, engine.RootContext(doc))
+				if err != nil {
+					continue // work/size limits
+				}
+				checks++
+				if !values.Equal(ref, got) {
+					disagreements++
+				}
+			}
+		}
+		t.SetCount("queries", row, int64(queries))
+		t.SetCount("checks", row, int64(checks))
+		t.SetCount("disagreements", row, int64(disagreements))
+	}
+	return t
+}
+
+// RunAll executes every experiment and prints the tables.
+func RunAll(w io.Writer, cfg Config) {
+	start := time.Now()
+	E5(cfg).Print(w)
+	E6(cfg).Print(w)
+	E7(cfg).Print(w)
+	for _, t := range E8(cfg) {
+		t.Print(w)
+	}
+	for _, t := range E9(cfg) {
+		t.Print(w)
+	}
+	E10(cfg).Print(w)
+	E11(cfg).Print(w)
+	E12(cfg).Print(w)
+	E13(cfg).Print(w)
+	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,318 @@
+// Package bottomup implements the strict bottom-up evaluation E↑ of the
+// predecessor paper [11], recalled in Section 2.3: the pure context-value
+// table principle. For every parse-tree node, a table over *all* possible
+// contexts is materialized — scalar-typed expressions over the full context
+// domain C = {〈cn, cp, cs〉 | 1 ≤ cp ≤ cs ≤ |dom|} (the |dom|³ behavior
+// Section 3.1 attributes to E↑), node-set-typed expressions as relations
+// keyed by the context node. Tables of subexpressions are combined upward
+// until the root's table yields the query result.
+//
+// The engine exists as the paper's baseline: MINCONTEXT's improvements are
+// measured against its table sizes (experiment E7).
+package bottomup
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// MaxCells bounds the total number of table cells a single evaluation may
+// allocate (the |dom|³·|Q| tables grow quickly); exceeding it returns an
+// error rather than exhausting memory. Zero means no bound.
+var MaxCells int64 = 64 << 20
+
+// Engine is the E↑ evaluator. The zero value is ready to use.
+type Engine struct{}
+
+// New returns a bottom-up E↑ engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (*Engine) Name() string { return "bottomup" }
+
+// Evaluate implements engine.Engine.
+func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+	ev := &evaluator{
+		doc:    doc,
+		q:      q,
+		n:      doc.Size(),
+		nodes:  doc.NumNodes(),
+		scalar: make([][]values.Value, q.Size()),
+		nset:   make([][]*xmltree.Set, q.Size()),
+	}
+	// Scalar tables are dense over cn × {(cp,cs) | cp ≤ cs}; the maximum
+	// context size is |dom|+1 because candidate lists over node() tests can
+	// include the document root. Precompute the triangular (cp,cs) indexing.
+	ev.maxCS = ev.n + 1
+	ev.tri = ev.maxCS * (ev.maxCS + 1) / 2
+	if est := int64(ev.nodes) * int64(ev.tri) * int64(countScalarNodes(q)); MaxCells > 0 && est > MaxCells {
+		return values.Value{}, engine.Stats{}, fmt.Errorf(
+			"bottomup: table estimate %d cells exceeds limit %d (|dom|³ growth; use a smaller document)", est, MaxCells)
+	}
+	if err := ev.build(q.Root); err != nil {
+		return values.Value{}, ev.st, err
+	}
+	// Read the result off the root's context-value table.
+	root := q.Root
+	if root.ResultType() == syntax.TypeNodeSet {
+		return values.NodeSet(ev.nset[root.ID()][ctx.Node.Pre()]), ev.st, nil
+	}
+	return ev.scalar[root.ID()][ev.cellIndex(ctx.Node.Pre(), ctx.Pos, ctx.Size)], ev.st, nil
+}
+
+func countScalarNodes(q *syntax.Query) int {
+	n := 0
+	for _, e := range q.Nodes {
+		if e.ResultType() != syntax.TypeNodeSet {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+type evaluator struct {
+	doc   *xmltree.Document
+	q     *syntax.Query
+	n     int // |dom|
+	nodes int // |dom| + 1 (document root)
+	maxCS int // largest context size: |dom| + 1
+	tri   int // number of (cp,cs) pairs
+
+	scalar [][]values.Value // per parse node: cn × (cp,cs) → value
+	nset   [][]*xmltree.Set // per parse node: cn → node set
+	st     engine.Stats
+}
+
+// cellIndex addresses the (cn, cp, cs) cell of a dense scalar table.
+func (ev *evaluator) cellIndex(cnPre, cp, cs int) int {
+	return cnPre*ev.tri + cs*(cs-1)/2 + (cp - 1)
+}
+
+// build fills table(e) for e and, first, all of its subexpressions.
+func (ev *evaluator) build(e syntax.Expr) error {
+	for _, c := range childExprs(e) {
+		if err := ev.build(c); err != nil {
+			return err
+		}
+	}
+	if e.ResultType() == syntax.TypeNodeSet {
+		return ev.buildNodeSet(e)
+	}
+	return ev.buildScalar(e)
+}
+
+// childExprs lists the direct subexpressions whose tables must exist before
+// e's table can be assembled. For paths this includes every step's
+// predicates (the steps themselves are processed inline by buildNodeSet).
+func childExprs(e syntax.Expr) []syntax.Expr {
+	switch e := e.(type) {
+	case *syntax.Path:
+		var out []syntax.Expr
+		if e.Filter != nil {
+			out = append(out, e.Filter)
+		}
+		out = append(out, e.FPreds...)
+		for _, s := range e.Steps {
+			out = append(out, s.Preds...)
+		}
+		return out
+	case *syntax.Union:
+		return e.Paths
+	case *syntax.Binary:
+		return []syntax.Expr{e.L, e.R}
+	case *syntax.Negate:
+		return []syntax.Expr{e.E}
+	case *syntax.Call:
+		return e.Args
+	}
+	return nil
+}
+
+// buildScalar fills the full |C|-sized context-value table of a scalar
+// expression: one F[[Op]] application per context triple, exactly the
+// strict bottom-up regime of Section 2.3.
+func (ev *evaluator) buildScalar(e syntax.Expr) error {
+	tab := make([]values.Value, ev.nodes*ev.tri)
+	ev.scalar[e.ID()] = tab
+	ev.st.TableCells += int64(len(tab))
+	for cn := 0; cn < ev.nodes; cn++ {
+		node := ev.doc.Node(cn)
+		for cs := 1; cs <= ev.maxCS; cs++ {
+			for cp := 1; cp <= cs; cp++ {
+				ev.st.ContextsEvaluated++
+				tab[ev.cellIndex(cn, cp, cs)] = ev.valueAt(e, node, cp, cs)
+			}
+		}
+	}
+	return nil
+}
+
+// valueAt computes one cell by combining the children's (already built)
+// tables — it never recurses into subexpression evaluation.
+func (ev *evaluator) valueAt(e syntax.Expr, cn *xmltree.Node, cp, cs int) values.Value {
+	lookup := func(c syntax.Expr) values.Value {
+		if c.ResultType() == syntax.TypeNodeSet {
+			return values.NodeSet(ev.nset[c.ID()][cn.Pre()])
+		}
+		return ev.scalar[c.ID()][ev.cellIndex(cn.Pre(), cp, cs)]
+	}
+	switch e := e.(type) {
+	case *syntax.NumberLit:
+		return values.Number(e.Val)
+	case *syntax.StringLit:
+		return values.String(e.Val)
+	case *syntax.Negate:
+		return values.Number(-values.ToNumber(lookup(e.E)))
+	case *syntax.Binary:
+		l, r := lookup(e.L), lookup(e.R)
+		switch {
+		case e.Op == syntax.OpOr:
+			return values.Boolean(values.ToBool(l) || values.ToBool(r))
+		case e.Op == syntax.OpAnd:
+			return values.Boolean(values.ToBool(l) && values.ToBool(r))
+		case e.Op.IsRelational():
+			return values.Boolean(values.Compare(e.Op, l, r))
+		default:
+			return values.Number(values.Arith(e.Op, values.ToNumber(l), values.ToNumber(r)))
+		}
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnPosition:
+			return values.Number(float64(cp))
+		case syntax.FnLast:
+			return values.Number(float64(cs))
+		}
+		args := make([]values.Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = lookup(a)
+		}
+		v, err := values.Call(e.Fn, args, values.CallEnv{Doc: ev.doc, Node: cn})
+		if err != nil {
+			panic(err) // unreachable: signature checked at compile time
+		}
+		return v
+	}
+	panic("bottomup: valueAt: unhandled scalar expression")
+}
+
+// buildNodeSet fills the relation-shaped table of a node-set expression:
+// for every possible context node, the resulting node set.
+func (ev *evaluator) buildNodeSet(e syntax.Expr) error {
+	tab := make([]*xmltree.Set, ev.nodes)
+	ev.nset[e.ID()] = tab
+	switch e := e.(type) {
+	case *syntax.Union:
+		for cn := 0; cn < ev.nodes; cn++ {
+			s := xmltree.NewSet(ev.doc)
+			for _, p := range e.Paths {
+				s.UnionWith(ev.nset[p.ID()][cn])
+			}
+			tab[cn] = s
+			ev.st.TableCells += int64(s.Len())
+		}
+		return nil
+	case *syntax.Path:
+		return ev.buildPath(e, tab)
+	case *syntax.Call:
+		// id(s) with a scalar argument (the nset form was normalized away).
+		for cn := 0; cn < ev.nodes; cn++ {
+			node := ev.doc.Node(cn)
+			// The argument is context-position-independent here only if its
+			// table says so for (1,1); per strict E↑ we use cp=cs=1 — id()'s
+			// argument may in principle depend on cp/cs, in which case E↑
+			// would need a |C|-sized nset table; that combination is outside
+			// every fragment the paper evaluates and is rejected.
+			arg := ev.scalar[e.Args[0].ID()][ev.cellIndex(cn, 1, 1)]
+			if ev.q.RelevOf(e.Args[0]).NeedsPosition() {
+				panic("bottomup: id() with position-dependent argument is not supported by E↑ tables")
+			}
+			v, err := values.Call(e.Fn, []values.Value{arg}, values.CallEnv{Doc: ev.doc, Node: node})
+			if err != nil {
+				panic(err)
+			}
+			tab[cn] = v.Set
+			ev.st.TableCells += int64(v.Set.Len())
+		}
+		return nil
+	}
+	panic("bottomup: buildNodeSet: unhandled node-set expression")
+}
+
+// buildPath composes the per-step pair relations into the path's table.
+func (ev *evaluator) buildPath(p *syntax.Path, tab []*xmltree.Set) error {
+	// Step relations: M[x] = nodes selected by the step from source x,
+	// filtered through the step's predicate tables.
+	stepRel := func(step *syntax.Step) [][]*xmltree.Node {
+		m := make([][]*xmltree.Node, ev.nodes)
+		for x := 0; x < ev.nodes; x++ {
+			cands := engine.Candidates(step.Axis, step.Test, ev.doc.Node(x), nil)
+			for _, pred := range step.Preds {
+				kept := cands[:0]
+				size := len(cands)
+				for j, y := range cands {
+					v := ev.scalar[pred.ID()][ev.cellIndex(y.Pre(), j+1, size)]
+					if values.ToBool(v) {
+						kept = append(kept, y)
+					}
+				}
+				cands = kept
+			}
+			m[x] = cands
+			ev.st.TableCells += int64(len(cands))
+		}
+		ev.st.AxisCalls++
+		return m
+	}
+
+	// Start sets per context node.
+	starts := make([]*xmltree.Set, ev.nodes)
+	for cn := 0; cn < ev.nodes; cn++ {
+		switch {
+		case p.Abs:
+			starts[cn] = xmltree.Singleton(ev.doc.Root())
+		case p.Filter != nil:
+			s := ev.nset[p.Filter.ID()][cn]
+			nodes := s.Nodes()
+			for _, pred := range p.FPreds {
+				kept := nodes[:0]
+				size := len(nodes)
+				for j, y := range nodes {
+					if values.ToBool(ev.scalar[pred.ID()][ev.cellIndex(y.Pre(), j+1, size)]) {
+						kept = append(kept, y)
+					}
+				}
+				nodes = kept
+			}
+			starts[cn] = xmltree.SetFromNodes(ev.doc, nodes)
+		default:
+			starts[cn] = xmltree.Singleton(ev.doc.Node(cn))
+		}
+	}
+
+	// Compose the step relations over the start sets.
+	cur := starts
+	for _, step := range p.Steps {
+		m := stepRel(step)
+		next := make([]*xmltree.Set, ev.nodes)
+		for cn := 0; cn < ev.nodes; cn++ {
+			s := xmltree.NewSet(ev.doc)
+			cur[cn].ForEach(func(x *xmltree.Node) {
+				for _, y := range m[x.Pre()] {
+					s.Add(y)
+				}
+			})
+			next[cn] = s
+			ev.st.TableCells += int64(s.Len())
+		}
+		cur = next
+	}
+	copy(tab, cur)
+	return nil
+}

@@ -1,0 +1,147 @@
+package bottomup
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func eval(t *testing.T, doc *xmltree.Document, src string) (values.Value, engine.Stats) {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, st, err := New().Evaluate(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	return v, st
+}
+
+// TestFullTables: E↑ materializes the complete |C|-sized table for scalar
+// subexpressions — the |dom|³ behavior §3.1 attributes to it.
+func TestFullTables(t *testing.T) {
+	doc := workload.Figure2() // |dom| = 9, plus root ⇒ 10 nodes, maxCS 10
+	_, st := eval(t, doc, `position()`)
+	// One scalar node: 10 (cn) × 55 (cp ≤ cs ≤ 10) = 550 cells.
+	if st.TableCells != 550 {
+		t.Errorf("position() table = %d cells, want 550 (= |C|)", st.TableCells)
+	}
+}
+
+// TestCubicGrowth: scalar table cells grow cubically with |dom|.
+func TestCubicGrowth(t *testing.T) {
+	src := `position() != last()`
+	var cells [2]int64
+	for i, n := range []int{20, 40} {
+		doc := workload.Scaled(n)
+		_, st := eval(t, doc, src)
+		cells[i] = st.TableCells
+	}
+	ratio := float64(cells[1]) / float64(cells[0])
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("cell growth ratio %.1f for 2× |D|, want ≈8 (cubic)", ratio)
+	}
+}
+
+// TestMaxCells: the guard fails cleanly instead of exhausting memory.
+func TestMaxCells(t *testing.T) {
+	doc := workload.Scaled(500)
+	q, err := syntax.Compile(`//b[position() > 1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := MaxCells
+	MaxCells = 1000
+	defer func() { MaxCells = old }()
+	_, _, err = New().Evaluate(q, doc, engine.RootContext(doc))
+	if err == nil {
+		t.Fatal("expected a MaxCells error")
+	}
+}
+
+// TestPathTables: node-set results are read per context node.
+func TestPathTables(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`child::d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[string]int{"11": 1, "21": 2, "12": 0} {
+		v, _, err := New().Evaluate(q, doc, engine.Context{Node: doc.ByID(id), Pos: 1, Size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Set.Len() != want {
+			t.Errorf("child::d from x%s: %d nodes, want %d", id, v.Set.Len(), want)
+		}
+	}
+}
+
+// TestScalarResultAtContext: scalar roots honor the full input context.
+func TestScalarResultAtContext(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`position() * 10 + last()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := New().Evaluate(q, doc, engine.Context{Node: doc.ByID("12"), Pos: 2, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Num != 23 {
+		t.Errorf("got %v, want 23", v.Num)
+	}
+}
+
+// TestPolynomialOnDoublingQuery: E↑ is immune to the naive blowup.
+func TestPolynomialOnDoublingQuery(t *testing.T) {
+	doc := workload.Doubling()
+	var prev int64
+	for i := 2; i <= 6; i++ {
+		_, st := eval(t, doc, workload.DoublingQuery(i))
+		if i > 2 && prev > 0 {
+			if ratio := float64(st.ContextsEvaluated) / float64(prev); ratio > 1.7 {
+				t.Errorf("step %d: ratio %.2f suggests exponential growth", i, ratio)
+			}
+		}
+		prev = st.ContextsEvaluated
+	}
+}
+
+// TestUnionAndFilterTables: union node tables and filter-headed paths.
+func TestUnionAndFilterTables(t *testing.T) {
+	doc := workload.Figure2()
+	if v, _ := eval(t, doc, `//c | //d`); v.Set.Len() != 6 {
+		t.Errorf("union: %s", v.Set)
+	}
+	if v, _ := eval(t, doc, `(//b)[2]/child::d`); v.Set.Len() != 2 {
+		t.Errorf("filter path: %s", v.Set)
+	}
+	if v, _ := eval(t, doc, `id("11 21")/child::c`); v.Set.Len() != 3 {
+		t.Errorf("id call: %s", v.Set)
+	}
+}
+
+// TestAbsolutePathsIgnoreContext: /π from any context node.
+func TestAbsolutePathsIgnoreContext(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`/child::a/child::b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"12", "24"} {
+		v, _, err := New().Evaluate(q, doc, engine.Context{Node: doc.ByID(id), Pos: 1, Size: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Set.Len() != 2 {
+			t.Errorf("from x%s: %s", id, v.Set)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/axes"
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// evalBottomupPath is the procedure eval_bottomup_path of Section 6. The
+// parse-tree node id designates an expression boolean(π) or π RelOp s with
+// context-independent scalar s; the procedure computes the set X of context
+// nodes for which the expression is true — by backward propagation of an
+// initial node set through the inverse axes of π — and fills table(N) with
+// {(x, true) | x ∈ X} ∪ {(x, false) | x ∉ X}, using linear space.
+func (ev *evaluation) evalBottomupPath(id int) {
+	e := ev.q.Node(id)
+	if ev.tab[id] != nil {
+		return // already filled (shared subexpression of an earlier pass)
+	}
+	pi, op, scalar := ev.q.BottomUpPath(id)
+
+	// Step 1: determine the initial node set Y.
+	var y *xmltree.Set
+	if scalar == nil {
+		// expr(N) = boolean(π): Y := dom (plus the document root, which
+		// backward steps over ancestor axes may pass through).
+		y = ev.doc.AllNodes().Clone()
+	} else {
+		// expr(N) = π RelOp s: evaluate the context-independent s once and
+		// keep the nodes whose string value satisfies the comparison. The
+		// three scalar cases of the pseudo-code (nset, str, num) all reduce
+		// to the existential node-set comparison with a singleton left side.
+		ev.evalByCnodeOnly(scalar, nil)
+		sval := ev.lookup(scalar, ev.doc.Root())
+		y = xmltree.NewSet(ev.doc)
+		ev.doc.AllNodes().ForEach(func(n *xmltree.Node) {
+			ev.st.ContextsEvaluated++
+			if values.Compare(op, values.NodeSet(xmltree.Singleton(n)), sval) {
+				y.Add(n)
+			}
+		})
+	}
+
+	// Step 2: propagate Y backwards via π and fill in table(N).
+	x := ev.propagatePathBackwards(pi, y)
+	ev.doc.AllNodes().ForEach(func(n *xmltree.Node) {
+		ev.store(e, n.Pre(), values.Boolean(x.Has(n)))
+	})
+}
+
+// propagatePathBackwards is the procedure propagate_path_backwards of
+// Section 6: starting from the target set Y of the final location step, it
+// walks the steps of π from last to first, at each step restricting to the
+// node test, filtering through the predicates, and applying the inverse
+// axis function χ⁻¹ — so that the result is
+//
+//	X = {x ∈ dom | ∃y ∈ Y reachable from x via π}.
+//
+// Fidelity note (see the package comment): in the positional branch,
+// predicate positions are computed over the full candidate set χ(x) ∩ T(t)
+// as Definition 2 requires, and the propagated set Y′ is intersected
+// afterwards; the paper's literal pseudo-code computes positions inside Y′,
+// which disagrees with its own Definition 2 on queries like
+// following::d[position() != last()].
+func (ev *evaluation) propagatePathBackwards(pi *syntax.Path, y *xmltree.Set) *xmltree.Set {
+	cur := y
+	for i := len(pi.Steps) - 1; i >= 0; i-- {
+		if cur.IsEmpty() {
+			// "if Y = ∅ then return ∅".
+			break
+		}
+		step := pi.Steps[i]
+		// Y′ := {y ∈ Y | node test t is true for y}.
+		yPrime := cur.Intersect(engine.TestSet(ev.doc, step.Test))
+
+		needsPos := false
+		for _, pred := range step.Preds {
+			if ev.relevOf(pred).NeedsPosition() {
+				needsPos = true
+			}
+		}
+
+		if !needsPos {
+			for _, pred := range step.Preds {
+				ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, yPrime))
+			}
+			// Y″ := {y ∈ Y′ | all predicates true at 〈y, ∗, ∗〉}.
+			yPP := yPrime
+			if len(step.Preds) > 0 {
+				yPP = xmltree.NewSet(ev.doc)
+				yPrime.ForEach(func(n *xmltree.Node) {
+					if ev.predsHold(step.Preds, n) {
+						yPP.Add(n)
+					}
+				})
+			}
+			ev.st.AxisCalls++
+			cur = axes.ApplyInverse(step.Axis, yPP)
+			continue
+		}
+
+		// Positional branch: X′ := χ⁻¹(Y′); for each x ∈ X′ run the
+		// candidate loop with true positions, then keep x when a surviving
+		// candidate leads into Y′.
+		ev.st.AxisCalls++
+		xPrime := axes.ApplyInverse(step.Axis, yPrime)
+		// Table the predicates over the full forward image, which contains
+		// every candidate the position loop will evaluate.
+		img := engine.StepImage(&ev.st, step.Axis, step.Test, xPrime)
+		for _, pred := range step.Preds {
+			ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, img))
+		}
+		r := xmltree.NewSet(ev.doc)
+		var buf []*xmltree.Node
+		xPrime.ForEach(func(xn *xmltree.Node) {
+			z := engine.Candidates(step.Axis, step.Test, xn, buf[:0])
+			for _, pred := range step.Preds {
+				m := len(z)
+				kept := z[:0]
+				for j, cand := range z {
+					if values.ToBool(ev.evalSingleContext(pred, cand, j+1, m)) {
+						kept = append(kept, cand)
+					}
+				}
+				z = kept
+			}
+			for _, cand := range z {
+				if yPrime.Has(cand) {
+					r.Add(xn)
+					break
+				}
+			}
+			buf = z[:0]
+		})
+		cur = r
+	}
+
+	// "if location step at M2 is '/'": an absolute path matches from every
+	// context node iff the root can start the chain.
+	if pi.Abs {
+		if cur.Has(ev.doc.Root()) {
+			return ev.doc.AllNodes().Clone()
+		}
+		return xmltree.NewSet(ev.doc)
+	}
+	return cur
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func evalWith(t *testing.T, eng *Engine, doc *xmltree.Document, src string) (values.Value, engine.Stats) {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, st, err := eng.Evaluate(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	return v, st
+}
+
+func setIDs(s *xmltree.Set) string { return s.String() }
+
+// TestExample9BackwardTrace reproduces the intermediate sets of the
+// Example 9 bottom-up evaluation of ρ and π.
+func TestExample9BackwardTrace(t *testing.T) {
+	doc := workload.Figure2()
+	// ρ = 100: table true exactly at {x23, x24}.
+	q, err := syntax.Compile(`preceding-sibling::*/preceding::* = 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.BottomUp) != 1 {
+		t.Fatalf("ρ = 100 should be one bottom-up node, got %v", q.BottomUp)
+	}
+	ev := &evaluation{q: q, doc: doc, inCtx: engine.RootContext(doc),
+		tab: make([]map[int]values.Value, q.Size())}
+	ev.evalBottomupPath(q.BottomUp[0])
+	trueSet := xmltree.NewSet(doc)
+	doc.AllNodes().ForEach(func(n *xmltree.Node) {
+		if v := ev.tab[q.BottomUp[0]][n.Pre()]; v.Bool {
+			trueSet.Add(n)
+		}
+	})
+	if got := setIDs(trueSet); got != "{x23, x24}" {
+		t.Errorf("table(ρ=100) true at %s, want {x23, x24}", got)
+	}
+}
+
+// TestExample9PiPropagation checks boolean(π)'s bottom-up table: true
+// exactly on X = {x11, x12, x13, x14, x22}.
+func TestExample9PiPropagation(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &evaluation{q: q, doc: doc, inCtx: engine.RootContext(doc),
+		tab: make([]map[int]values.Value, q.Size())}
+	for _, id := range q.BottomUp {
+		ev.evalBottomupPath(id)
+	}
+	rootID := q.Root.ID()
+	if ev.tab[rootID] == nil {
+		t.Fatal("boolean(π) was not bottom-up evaluated")
+	}
+	trueSet := xmltree.NewSet(doc)
+	doc.AllNodes().ForEach(func(n *xmltree.Node) {
+		if v := ev.tab[rootID][n.Pre()]; v.Bool {
+			trueSet.Add(n)
+		}
+	})
+	if got := setIDs(trueSet); got != "{x11, x12, x13, x14, x22}" {
+		t.Errorf("table(boolean(π)) true at %s, want {x11, x12, x13, x14, x22}", got)
+	}
+}
+
+// TestAblationsAgree: the ablated engines compute identical results, only
+// with different cost profiles.
+func TestAblationsAgree(t *testing.T) {
+	doc := workload.Scaled(60)
+	queries := []string{
+		workload.PositionHeavy(),
+		`//b[c = 100]/d`,
+		`count(//c[position() != last()])`,
+		`//b[count(child::c) > 1]`,
+	}
+	engines := []*Engine{
+		NewMinContext(),
+		NewOptMinContext(),
+		NewMinContextWith(Options{DisableRelev: true}),
+		NewMinContextWith(Options{DisableOutermostSet: true}),
+		NewMinContextWith(Options{DisableRelev: true, DisableOutermostSet: true}),
+	}
+	for _, src := range queries {
+		ref, _ := evalWith(t, engines[0], doc, src)
+		for _, eng := range engines[1:] {
+			got, _ := evalWith(t, eng, doc, src)
+			if !values.Equal(ref, got) {
+				t.Errorf("%s on %q: %s vs mincontext %s",
+					eng.Name(), src, values.Render(got), values.Render(ref))
+			}
+		}
+	}
+}
+
+// TestOutermostSetSavesCells: the outermost-path-as-set optimization (E12)
+// must reduce table cells on a deep document, where the pair relation of
+// Example 4's "2-dimensional tables" genuinely grows quadratically.
+func TestOutermostSetSavesCells(t *testing.T) {
+	doc := workload.Nested(150)
+	src := `/descendant::*/descendant::*[self::* = 100]`
+	_, stOn := evalWith(t, NewMinContext(), doc, src)
+	_, stOff := evalWith(t, NewMinContextWith(Options{DisableOutermostSet: true}), doc, src)
+	if stOn.TableCells >= stOff.TableCells {
+		t.Errorf("outermost-set optimization saved nothing: on=%d off=%d",
+			stOn.TableCells, stOff.TableCells)
+	}
+}
+
+// TestRelevSavesWork: disabling the relevant-context restriction (E11) must
+// increase per-context evaluations on predicate-heavy queries.
+func TestRelevSavesWork(t *testing.T) {
+	doc := workload.Nested(80)
+	src := `/descendant::*/descendant::*[descendant::c = 100 or position() > last()*0.5]`
+	_, stOn := evalWith(t, NewMinContext(), doc, src)
+	_, stOff := evalWith(t, NewMinContextWith(Options{DisableRelev: true}), doc, src)
+	if stOn.ContextsEvaluated >= stOff.ContextsEvaluated {
+		t.Errorf("Relev restriction saved nothing: on=%d off=%d",
+			stOn.ContextsEvaluated, stOff.ContextsEvaluated)
+	}
+}
+
+// TestBottomUpSavesCells: OPTMINCONTEXT's bottom-up pass keeps Wadler
+// predicates in linear-size tables where MINCONTEXT materializes the inner
+// path relation (Theorem 10 vs Theorem 7 space).
+func TestBottomUpSavesCells(t *testing.T) {
+	doc := workload.Scaled(200)
+	src := `/descendant::*[preceding-sibling::*/preceding::* = 100]`
+	_, stOpt := evalWith(t, NewOptMinContext(), doc, src)
+	_, stMin := evalWith(t, NewMinContext(), doc, src)
+	if stOpt.TableCells >= stMin.TableCells {
+		t.Errorf("bottom-up pass saved no cells: opt=%d min=%d",
+			stOpt.TableCells, stMin.TableCells)
+	}
+}
+
+// TestWildcardContexts: context-independent queries table exactly one row.
+func TestWildcardContexts(t *testing.T) {
+	doc := workload.Figure2()
+	_, st := evalWith(t, NewMinContext(), doc, `1 + 2 * 3`)
+	if st.TableCells != 5 {
+		t.Errorf("constant query wrote %d cells, want 5 (one per parse node)", st.TableCells)
+	}
+}
+
+// TestEngineNames: ablations are distinguishable in benchmark output.
+func TestEngineNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range []*Engine{NewMinContext(), NewOptMinContext(),
+		NewMinContextWith(Options{DisableRelev: true}),
+		NewMinContextWith(Options{DisableOutermostSet: true}),
+		NewMinContextWith(Options{DisableRelev: true, DisableOutermostSet: true})} {
+		if names[e.Name()] {
+			t.Errorf("duplicate engine name %q", e.Name())
+		}
+		names[e.Name()] = true
+	}
+}
+
+// TestContextPositionQueries: explicit cp/cs at the top level.
+func TestContextPositionQueries(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`position() + last()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := NewMinContext().Evaluate(q, doc, engine.Context{Node: doc.Root(), Pos: 3, Size: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Num != 10 {
+		t.Errorf("position()+last() at <root,3,7> = %v, want 10", v.Num)
+	}
+}
+
+// TestBackwardPositionalFidelity pins down the deviation documented in the
+// package comment: predicate positions during backward propagation must be
+// computed over the full candidate set χ(x) ∩ T(t) (Definition 2), not
+// inside the backward-propagated subset as the literal pseudo-code of
+// Section 6 does.
+//
+// Counterexample: boolean(child::a[position() = 2]/child::b) at the root of
+//
+//	<r><a id="a1"/><a id="a2"><b id="b1"/></a></r>
+//
+// True semantics: child::a = (a1, a2); position 2 is a2; a2 has a b child,
+// so the expression is TRUE. The literal pseudo-code propagates Y′ = {a2}
+// backwards and computes positions within it, finds a2 at position 1, and
+// wrongly returns FALSE.
+func TestBackwardPositionalFidelity(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a id="a1"/><a id="a2"><b id="b1"/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := syntax.Compile(`boolean(child::a[position() = 2]/child::b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.BottomUp) != 1 {
+		t.Fatalf("expected one bottom-up node, got %v", q.BottomUp)
+	}
+	rootNode := doc.Root().Children()[0] // <r>
+	v, _, err := NewOptMinContext().Evaluate(q, doc, engine.Context{Node: rootNode, Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool {
+		t.Error("OPTMINCONTEXT returned false — the literal-pseudo-code position bug is back")
+	}
+	// And the backward result agrees with forward MINCONTEXT.
+	v2, _, err := NewMinContext().Evaluate(q, doc, engine.Context{Node: rootNode, Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Bool != v.Bool {
+		t.Errorf("bottom-up (%v) and forward (%v) evaluation disagree", v.Bool, v2.Bool)
+	}
+}
+
+// TestBackwardReverseAxisPositions: positions in backward propagation over
+// a reverse axis (preceding-sibling) count in reverse document order.
+func TestBackwardReverseAxisPositions(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a id="a1"><b/></a><a id="a2"/><c id="c1"/></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From c1: preceding-sibling::a = (a2, a1) in reverse document order;
+	// position 2 is a1, which has a b child.
+	q, err := syntax.Compile(`boolean(preceding-sibling::a[position() = 2]/child::b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := doc.ByID("c1")
+	v, _, err := NewOptMinContext().Evaluate(q, doc, engine.Context{Node: c1, Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool {
+		t.Error("reverse-axis backward positions wrong")
+	}
+	// position 1 is a2, which has no b child.
+	q2, err := syntax.Compile(`boolean(preceding-sibling::a[position() = 1]/child::b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := NewOptMinContext().Evaluate(q2, doc, engine.Context{Node: c1, Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Bool {
+		t.Error("position 1 on reverse axis should be the nearest sibling (a2, no b)")
+	}
+}
+
+// TestDumpTables: the EvaluateWithDump hook returns the tables the
+// evaluation materialized, keyed and ordered deterministically.
+func TestDumpTables(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`/descendant::*[self::* = 100]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, dumps, err := NewMinContext().EvaluateWithDump(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Set.String() != "{x14, x24}" {
+		t.Errorf("result %s", v.Set)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("no tables dumped")
+	}
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i].NodeID <= dumps[i-1].NodeID {
+			t.Error("dumps not ordered by node ID")
+		}
+	}
+	// The self::* = 100 predicate must have a per-cn boolean table.
+	found := false
+	for _, d := range dumps {
+		if d.Expr == "(self::* = 100)" {
+			found = true
+			if len(d.Rows) != 9 {
+				t.Errorf("predicate table has %d rows, want 9 (the candidates)", len(d.Rows))
+			}
+		}
+	}
+	if !found {
+		t.Error("predicate table missing from dump")
+	}
+}

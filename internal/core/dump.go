@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// TableRow is one row of a dumped context-value table.
+type TableRow struct {
+	// CN is the context node's document-order index, or -1 for the
+	// wildcard row of a context-independent table.
+	CN int
+	// Value is the rendered result value.
+	Value string
+}
+
+// TableDump is the context-value table of one parse-tree node after an
+// evaluation — the reduced tables of Figure 5 (tables restricted to their
+// relevant context).
+type TableDump struct {
+	NodeID int
+	Expr   string
+	Relev  syntax.Ctx
+	Rows   []TableRow
+}
+
+// EvaluateWithDump evaluates like Evaluate and additionally returns every
+// context-value table the run materialized, ordered by parse-tree node ID.
+// cmd/xpathtables uses it to regenerate the paper's Figure 5.
+func (e *Engine) EvaluateWithDump(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, []TableDump, error) {
+	ev := &evaluation{
+		q:     q,
+		doc:   doc,
+		inCtx: ctx,
+		opts:  e.opts,
+		tab:   make([]map[int]values.Value, q.Size()),
+	}
+	if e.bottomUp {
+		for _, id := range q.BottomUp {
+			ev.evalBottomupPath(id)
+		}
+	}
+	v, err := ev.run()
+	if err != nil {
+		return values.Value{}, nil, err
+	}
+	var dumps []TableDump
+	for id, m := range ev.tab {
+		if m == nil {
+			continue
+		}
+		d := TableDump{NodeID: id, Expr: q.Node(id).String(), Relev: q.Relev[id]}
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			d.Rows = append(d.Rows, TableRow{CN: k, Value: values.Render(m[k])})
+		}
+		dumps = append(dumps, d)
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i].NodeID < dumps[j].NodeID })
+	return v, dumps, nil
+}

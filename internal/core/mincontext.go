@@ -1,0 +1,466 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// evalOutermostLocpath is the procedure eval_outermost_locpath of
+// Section 6: it evaluates a location path that does not occur inside
+// another expression, representing intermediate results as plain node sets
+// ⊆ dom instead of dom × 2^dom relations (the "special treatment of
+// location paths on the outermost level" of Section 3.1).
+func (ev *evaluation) evalOutermostLocpath(e syntax.Expr, x *xmltree.Set) *xmltree.Set {
+	switch e := e.(type) {
+	case *syntax.Union:
+		// expr(N) = π1 | π2:  Y1 ∪ Y2.
+		out := xmltree.NewSet(ev.doc)
+		for _, p := range e.Paths {
+			out.UnionWith(ev.evalOutermostLocpath(p, x))
+		}
+		return out
+	case *syntax.Path:
+		cur := x
+		switch {
+		case e.Abs:
+			// expr(N) = /π: restart from {root}.
+			cur = xmltree.Singleton(ev.doc.Root())
+		case e.Filter != nil:
+			cur = ev.filterHeadSet(e, x)
+		}
+		// expr(N) = π1/π2 is handled by the step chain; each location step
+		// is the pseudo-code's χ::t[e1]…[eq] case.
+		for _, step := range e.Steps {
+			cur = ev.stepForward(step, cur)
+		}
+		return cur
+	}
+	panic("core: evalOutermostLocpath: not a location path")
+}
+
+// stepForward applies one location step to a set of context nodes and
+// returns the union of the selected nodes — the R := R ∪ Z accumulation of
+// the pseudo-code's outermost case.
+func (ev *evaluation) stepForward(step *syntax.Step, x *xmltree.Set) *xmltree.Set {
+	out := xmltree.NewSet(ev.doc)
+	ev.stepMap(step, x, func(_ *xmltree.Node, sel []*xmltree.Node) {
+		for _, z := range sel {
+			out.Add(z)
+		}
+	})
+	return out
+}
+
+// stepMap evaluates the location step χ::t[e1]…[eq] from every context node
+// x ∈ X and reports the selected candidates per x. It implements the shared
+// core of the pseudo-code's step cases:
+//
+//	Y := nodes reachable from X via χ::t;
+//	for i := 1 to q do eval_by_cnode_only(node(ei), Y);
+//	if no ei depends on cp/cs:  filter Y by single-context predicate checks;
+//	else: per x, loop over the ordered candidate list with 〈zj, j, m〉.
+func (ev *evaluation) stepMap(step *syntax.Step, x *xmltree.Set, emit func(x *xmltree.Node, selected []*xmltree.Node)) {
+	y := engine.StepImage(&ev.st, step.Axis, step.Test, x)
+	needsPos := false
+	for _, pred := range step.Preds {
+		ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, y))
+		if ev.relevOf(pred).NeedsPosition() {
+			needsPos = true
+		}
+	}
+
+	if !needsPos {
+		// All predicates are independent of the context position/size:
+		// filter the image once, then distribute per context node.
+		sat := y
+		if len(step.Preds) > 0 {
+			sat = xmltree.NewSet(ev.doc)
+			y.ForEach(func(n *xmltree.Node) {
+				if ev.predsHold(step.Preds, n) {
+					sat.Add(n)
+				}
+			})
+		}
+		var buf []*xmltree.Node
+		x.ForEach(func(xn *xmltree.Node) {
+			buf = engine.CandidatesWithin(step.Axis, step.Test, xn, sat, buf[:0])
+			emit(xn, buf)
+		})
+		return
+	}
+
+	// At least one predicate depends on cp or cs: loop over all pairs of
+	// previous/current context node with positions idxχ(z, Z).
+	var buf []*xmltree.Node
+	x.ForEach(func(xn *xmltree.Node) {
+		z := engine.Candidates(step.Axis, step.Test, xn, buf[:0])
+		for _, pred := range step.Preds {
+			m := len(z)
+			kept := z[:0]
+			for j, cand := range z {
+				if values.ToBool(ev.evalSingleContext(pred, cand, j+1, m)) {
+					kept = append(kept, cand)
+				}
+			}
+			z = kept
+		}
+		emit(xn, z)
+		buf = z[:0]
+	})
+}
+
+// predsHold checks position-independent predicates at the wildcard context
+// 〈y, ∗, ∗〉.
+func (ev *evaluation) predsHold(preds []syntax.Expr, y *xmltree.Node) bool {
+	for _, pred := range preds {
+		if !values.ToBool(ev.evalSingleContext(pred, y, 0, 0)) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalByCnodeOnly is the procedure eval_by_cnode_only of Section 6: for
+// every node M in the subtree rooted at N whose expression does not depend
+// on the current context position/size, it fills table(M) for the context
+// nodes in X (nil X is the wildcard "∗").
+func (ev *evaluation) evalByCnodeOnly(e syntax.Expr, x *xmltree.Set) {
+	if ev.filled(e, x) {
+		return // already tabled (bottom-up pre-pass, or an earlier call)
+	}
+	r := ev.relevOf(e)
+
+	// Case 1: expr(N) depends on cp/cs — recurse into children, no table.
+	// For location paths this situation arises only through a filter head
+	// that consumes the context position (outside the paper's grammar);
+	// the head's position-independent subtrees still need their tables.
+	// Step and filter predicates are tabled later, against their candidate
+	// sets, by stepMap and filterNodeList.
+	if r.NeedsPosition() {
+		switch e := e.(type) {
+		case *syntax.Path:
+			if e.Filter != nil {
+				ev.evalByCnodeOnly(e.Filter, ev.cnodeArg(e.Filter, x))
+			}
+		case *syntax.Union:
+			for _, p := range e.Paths {
+				ev.evalByCnodeOnly(p, ev.cnodeArg(p, x))
+			}
+		default:
+			for _, c := range directChildren(e) {
+				ev.evalByCnodeOnly(c, ev.cnodeArg(c, x))
+			}
+		}
+		return
+	}
+
+	// Case 2: expr(N) is a location path — table(N) := eval_inner_locpath.
+	if isLocationPath(e) {
+		ev.evalInnerLocpath(e, x)
+		return
+	}
+
+	// Case 3: expr(N) = Op(e1, …, ek) — combine the children's tables.
+	for _, c := range directChildren(e) {
+		ev.evalByCnodeOnly(c, ev.cnodeArg(c, x))
+	}
+	if !r.Has(syntax.CN) {
+		ev.store(e, wildcardKey, ev.combine(e, ev.doc.Root()))
+		return
+	}
+	x.ForEach(func(n *xmltree.Node) {
+		ev.store(e, n.Pre(), ev.combine(e, n))
+	})
+}
+
+// directChildren lists the children evalByCnodeOnly recurses into for
+// non-path nodes. (Paths manage their own subtrees via evalInnerLocpath.)
+func directChildren(e syntax.Expr) []syntax.Expr {
+	switch e := e.(type) {
+	case *syntax.Binary:
+		return []syntax.Expr{e.L, e.R}
+	case *syntax.Negate:
+		return []syntax.Expr{e.E}
+	case *syntax.Call:
+		return e.Args
+	}
+	return nil
+}
+
+// combine computes F[[Op]](r1, …, rk) for one context node from the
+// children's tables — the table(N) assembly step of eval_by_cnode_only.
+func (ev *evaluation) combine(e syntax.Expr, cn *xmltree.Node) values.Value {
+	ev.st.ContextsEvaluated++
+	switch e := e.(type) {
+	case *syntax.NumberLit:
+		return values.Number(e.Val)
+	case *syntax.StringLit:
+		return values.String(e.Val)
+	case *syntax.Negate:
+		return values.Number(-values.ToNumber(ev.lookup(e.E, cn)))
+	case *syntax.Binary:
+		l, r := ev.lookup(e.L, cn), ev.lookup(e.R, cn)
+		switch {
+		case e.Op == syntax.OpOr:
+			return values.Boolean(values.ToBool(l) || values.ToBool(r))
+		case e.Op == syntax.OpAnd:
+			return values.Boolean(values.ToBool(l) && values.ToBool(r))
+		case e.Op.IsRelational():
+			return values.Boolean(values.Compare(e.Op, l, r))
+		default:
+			return values.Number(values.Arith(e.Op, values.ToNumber(l), values.ToNumber(r)))
+		}
+	case *syntax.Call:
+		args := make([]values.Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ev.lookup(a, cn)
+		}
+		v, err := values.Call(e.Fn, args, values.CallEnv{Doc: ev.doc, Node: cn})
+		if err != nil {
+			panic(err) // unreachable: signature checked at compile time
+		}
+		return v
+	}
+	panic("core: combine: unhandled operator node")
+}
+
+// evalSingleContext is the procedure eval_single_context of Section 6: it
+// evaluates expr(N) for a single context 〈cn, cp, cs〉, where cp/cs may be
+// 0 for the wildcard "∗". It requires that eval_by_cnode_only has been run
+// for N (with a covering context-node set) beforehand.
+func (ev *evaluation) evalSingleContext(e syntax.Expr, cn *xmltree.Node, cp, cs int) values.Value {
+	ev.st.ContextsEvaluated++
+	if !ev.relevOf(e).NeedsPosition() {
+		return ev.lookup(e, cn)
+	}
+	switch e := e.(type) {
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnPosition:
+			return values.Number(float64(cp))
+		case syntax.FnLast:
+			return values.Number(float64(cs))
+		}
+		args := make([]values.Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ev.evalSingleContext(a, cn, cp, cs)
+		}
+		v, err := values.Call(e.Fn, args, values.CallEnv{Doc: ev.doc, Node: cn})
+		if err != nil {
+			panic(err)
+		}
+		return v
+	case *syntax.Negate:
+		return values.Number(-values.ToNumber(ev.evalSingleContext(e.E, cn, cp, cs)))
+	case *syntax.Binary:
+		switch {
+		case e.Op == syntax.OpOr:
+			if values.ToBool(ev.evalSingleContext(e.L, cn, cp, cs)) {
+				return values.Boolean(true)
+			}
+			return values.Boolean(values.ToBool(ev.evalSingleContext(e.R, cn, cp, cs)))
+		case e.Op == syntax.OpAnd:
+			if !values.ToBool(ev.evalSingleContext(e.L, cn, cp, cs)) {
+				return values.Boolean(false)
+			}
+			return values.Boolean(values.ToBool(ev.evalSingleContext(e.R, cn, cp, cs)))
+		case e.Op.IsRelational():
+			return values.Boolean(values.Compare(e.Op,
+				ev.evalSingleContext(e.L, cn, cp, cs),
+				ev.evalSingleContext(e.R, cn, cp, cs)))
+		default:
+			return values.Number(values.Arith(e.Op,
+				values.ToNumber(ev.evalSingleContext(e.L, cn, cp, cs)),
+				values.ToNumber(ev.evalSingleContext(e.R, cn, cp, cs))))
+		}
+	case *syntax.NumberLit:
+		return values.Number(e.Val)
+	case *syntax.StringLit:
+		return values.String(e.Val)
+	case *syntax.Path:
+		// Reached only for paths whose filter head depends on cp/cs, or
+		// under the DisableRelev ablation.
+		return values.NodeSet(ev.pathForSingleContext(e, cn, cp, cs))
+	case *syntax.Union:
+		out := xmltree.NewSet(ev.doc)
+		for _, p := range e.Paths {
+			out.UnionWith(ev.evalSingleContext(p, cn, cp, cs).Set)
+		}
+		return values.NodeSet(out)
+	}
+	panic("core: evalSingleContext: unhandled expression")
+}
+
+// pathForSingleContext evaluates a location path for one concrete context.
+// MINCONTEXT proper never needs this — paths have Relev {'cn'} and are
+// tabled — but paths whose filter head consumes cp/cs (a construct outside
+// the paper's grammar, supported for full XPath 1.0 coverage) and the
+// DisableRelev ablation land here.
+func (ev *evaluation) pathForSingleContext(p *syntax.Path, cn *xmltree.Node, cp, cs int) *xmltree.Set {
+	var cur *xmltree.Set
+	switch {
+	case p.Abs:
+		cur = xmltree.Singleton(ev.doc.Root())
+	case p.Filter != nil:
+		head := ev.evalSingleContext(p.Filter, cn, cp, cs)
+		nodes := head.Set.Nodes()
+		for _, pred := range p.FPreds {
+			nodes = ev.filterNodeList(pred, nodes)
+		}
+		cur = xmltree.SetFromNodes(ev.doc, nodes)
+	default:
+		cur = xmltree.Singleton(cn)
+	}
+	for _, step := range p.Steps {
+		cur = ev.stepForward(step, cur)
+	}
+	return cur
+}
+
+// filterHeadSet evaluates a filter-expression path head for every context
+// node in X and returns the union of the filtered head sets — the
+// outermost-level analogue of the pseudo-code's /π case.
+func (ev *evaluation) filterHeadSet(p *syntax.Path, x *xmltree.Set) *xmltree.Set {
+	out := xmltree.NewSet(ev.doc)
+	if ev.relevOf(p.Filter).NeedsPosition() {
+		// The head consumes the outer position/size: those of the query's
+		// input context (evalOutermostLocpath runs at the top level only).
+		// Table the head's position-independent subtrees first.
+		ev.evalByCnodeOnly(p.Filter, ev.cnodeArg(p.Filter, x))
+		x.ForEach(func(n *xmltree.Node) {
+			head := ev.evalSingleContext(p.Filter, n, ev.inCtx.Pos, ev.inCtx.Size)
+			nodes := head.Set.Nodes()
+			for _, pred := range p.FPreds {
+				nodes = ev.filterNodeList(pred, nodes)
+			}
+			for _, m := range nodes {
+				out.Add(m)
+			}
+		})
+		return out
+	}
+	ev.evalByCnodeOnly(p.Filter, ev.cnodeArg(p.Filter, x))
+	x.ForEach(func(n *xmltree.Node) {
+		head := ev.lookup(p.Filter, n)
+		nodes := head.Set.Nodes()
+		for _, pred := range p.FPreds {
+			nodes = ev.filterNodeList(pred, nodes)
+		}
+		for _, m := range nodes {
+			out.Add(m)
+		}
+	})
+	return out
+}
+
+// filterNodeList applies one (boolean-typed, normalized) predicate to an
+// ordered node list with document-order positions, tabling the predicate's
+// position-independent parts first.
+func (ev *evaluation) filterNodeList(pred syntax.Expr, nodes []*xmltree.Node) []*xmltree.Node {
+	ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, xmltree.SetFromNodes(ev.doc, nodes)))
+	out := nodes[:0]
+	size := len(nodes)
+	for i, n := range nodes {
+		if values.ToBool(ev.evalSingleContext(pred, n, i+1, size)) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// evalInnerLocpath is the procedure eval_inner_locpath of Section 6: it
+// fills table(N) ⊆ dom × 2^dom for a location path N occurring inside a
+// predicate or function argument, restricted to the context nodes X.
+func (ev *evaluation) evalInnerLocpath(e syntax.Expr, x *xmltree.Set) {
+	rel := ev.innerRelation(e, x)
+	x.ForEach(func(n *xmltree.Node) {
+		set := rel[n.Pre()]
+		if set == nil {
+			set = xmltree.NewSet(ev.doc)
+		}
+		ev.store(e, n.Pre(), values.NodeSet(set))
+	})
+}
+
+// innerRelation computes {(x0, y) | y reachable from x0 via the path} as a
+// map from x0 to its result set.
+func (ev *evaluation) innerRelation(e syntax.Expr, x *xmltree.Set) map[int]*xmltree.Set {
+	switch e := e.(type) {
+	case *syntax.Union:
+		// R1 ∪ R2.
+		out := make(map[int]*xmltree.Set)
+		for _, p := range e.Paths {
+			part := ev.innerRelation(p, x)
+			for k, s := range part {
+				if out[k] == nil {
+					out[k] = xmltree.NewSet(ev.doc)
+				}
+				out[k].UnionWith(s)
+			}
+		}
+		return out
+	case *syntax.Path:
+		rel := make(map[int]*xmltree.Set)
+		switch {
+		case e.Abs:
+			// expr(N) = /π: R′ := eval_inner_locpath(π, {root}), then
+			// broadcast {(x0, x) | x0 ∈ X ∧ (root, x) ∈ R′}. The recursive
+			// evaluation runs through the relation pipeline (with its
+			// per-step tables), exactly like the pseudo-code.
+			// The synthetic relative path shares the steps (and thus the
+			// predicate nodes with their IDs); its own ID is never read.
+			sub := &syntax.Path{Steps: e.Steps}
+			r := ev.innerRelation(sub, xmltree.Singleton(ev.doc.Root()))
+			fromRoot := r[ev.doc.Root().Pre()]
+			if fromRoot == nil {
+				fromRoot = xmltree.NewSet(ev.doc)
+			}
+			x.ForEach(func(n *xmltree.Node) { rel[n.Pre()] = fromRoot })
+			return rel
+		case e.Filter != nil:
+			ev.evalByCnodeOnly(e.Filter, ev.cnodeArg(e.Filter, x))
+			x.ForEach(func(n *xmltree.Node) {
+				nodes := ev.lookup(e.Filter, n).Set.Nodes()
+				for _, pred := range e.FPreds {
+					nodes = ev.filterNodeList(pred, nodes)
+				}
+				rel[n.Pre()] = xmltree.SetFromNodes(ev.doc, nodes)
+			})
+		default:
+			x.ForEach(func(n *xmltree.Node) { rel[n.Pre()] = xmltree.Singleton(n) })
+		}
+		// Compose the steps: R := {(x0, z) | ∃x1: (x0,x1) ∈ R1 ∧ (x1,z) ∈ R2}.
+		for _, step := range e.Steps {
+			// Y := {y | ∃x0: (x0, y) ∈ R}.
+			y := xmltree.NewSet(ev.doc)
+			for _, s := range rel {
+				y.UnionWith(s)
+			}
+			m := make(map[int]*xmltree.Set, y.Len())
+			ev.stepMap(step, y, func(src *xmltree.Node, sel []*xmltree.Node) {
+				m[src.Pre()] = xmltree.SetFromNodes(ev.doc, sel)
+				// The per-step pair relation is the context-value table
+				// table(N) ⊆ dom × 2^dom of the step node (cf. Example 4's
+				// "2-dimensional tables" at N1/N2); it is materialized for
+				// inner location paths and counts toward the Theorem 7
+				// space bound. The outermost set representation avoids it.
+				ev.st.TableCells += int64(1 + len(sel))
+			})
+			next := make(map[int]*xmltree.Set, len(rel))
+			for x0, mid := range rel {
+				s := xmltree.NewSet(ev.doc)
+				mid.ForEach(func(x1 *xmltree.Node) {
+					if t := m[x1.Pre()]; t != nil {
+						s.UnionWith(t)
+					}
+				})
+				next[x0] = s
+			}
+			rel = next
+		}
+		return rel
+	}
+	panic("core: innerRelation: not a location path")
+}

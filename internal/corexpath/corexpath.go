@@ -1,0 +1,118 @@
+// Package corexpath is a standalone linear-time evaluator for the Core
+// XPath fragment of Definition 12 ([11]): location paths whose predicates
+// are and/or/not combinations of location paths. It evaluates a query in
+// time O(|D|·|Q|) using only set-at-a-time axis functions:
+//
+//   - each predicate subtree is turned into its satisfaction set — the set
+//     of context nodes at which the predicate holds — by propagating node
+//     sets backwards through inverse axes;
+//   - the main path then runs forward, intersecting each step's image with
+//     the node-test set and the predicates' satisfaction sets.
+//
+// The engine exists as an independent cross-check for Theorem 13: on Core
+// XPath subexpressions OPTMINCONTEXT must match both its results and its
+// linear growth (experiment E9).
+package corexpath
+
+import (
+	"fmt"
+
+	"repro/internal/axes"
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// Engine is the Core XPath evaluator. The zero value is ready to use.
+type Engine struct{}
+
+// New returns a Core XPath engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (*Engine) Name() string { return "corexpath" }
+
+// ErrNotCore is returned for queries outside the fragment.
+var ErrNotCore = fmt.Errorf("corexpath: query is not in the Core XPath fragment (Definition 12)")
+
+// Evaluate implements engine.Engine.
+func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+	if q.Fragment != syntax.FragmentCoreXPath {
+		return values.Value{}, engine.Stats{}, ErrNotCore
+	}
+	ev := &evaluator{doc: doc}
+	p := q.Root.(*syntax.Path)
+
+	cur := xmltree.Singleton(ctx.Node)
+	if p.Abs {
+		cur = xmltree.Singleton(doc.Root())
+	}
+	for _, step := range p.Steps {
+		cur = ev.forwardStep(step, cur)
+	}
+	return values.NodeSet(cur), ev.st, nil
+}
+
+type evaluator struct {
+	doc *xmltree.Document
+	st  engine.Stats
+}
+
+// forwardStep computes χ(X) ∩ T(t) ∩ ⋂ⱼ sat(eⱼ) in O(|D|).
+func (ev *evaluator) forwardStep(step *syntax.Step, x *xmltree.Set) *xmltree.Set {
+	y := engine.StepImage(&ev.st, step.Axis, step.Test, x)
+	for _, pred := range step.Preds {
+		y.IntersectWith(ev.satSet(pred))
+	}
+	ev.st.TableCells += int64(y.Len())
+	return y
+}
+
+// satSet returns the set of context nodes at which the predicate holds.
+func (ev *evaluator) satSet(e syntax.Expr) *xmltree.Set {
+	switch e := e.(type) {
+	case *syntax.Binary:
+		l, r := ev.satSet(e.L), ev.satSet(e.R)
+		if e.Op == syntax.OpAnd {
+			return l.Intersect(r)
+		}
+		return l.Union(r)
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnNot:
+			out := ev.doc.AllNodes().Clone()
+			out.SubtractWith(ev.satSet(e.Args[0]))
+			return out
+		case syntax.FnBoolean:
+			return ev.pathSat(e.Args[0].(*syntax.Path))
+		}
+	case *syntax.Path:
+		return ev.pathSat(e)
+	}
+	panic("corexpath: satSet: expression outside the fragment (classifier bug)")
+}
+
+// pathSat computes {x | the path selects at least one node from x} by
+// backward propagation: D_k is the set of nodes that can be the step-k
+// node of a full match; χ⁻¹ chains the steps.
+func (ev *evaluator) pathSat(p *syntax.Path) *xmltree.Set {
+	cur := ev.doc.AllNodes().Clone()
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		step := p.Steps[i]
+		cur.IntersectWith(engine.TestSet(ev.doc, step.Test))
+		for _, pred := range step.Preds {
+			cur.IntersectWith(ev.satSet(pred))
+		}
+		ev.st.AxisCalls++
+		ev.st.TableCells += int64(cur.Len())
+		cur = axes.ApplyInverse(step.Axis, cur)
+	}
+	if p.Abs {
+		if cur.Has(ev.doc.Root()) {
+			return ev.doc.AllNodes().Clone()
+		}
+		return xmltree.NewSet(ev.doc)
+	}
+	return cur
+}

@@ -1,0 +1,115 @@
+package corexpath
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func eval(t *testing.T, doc *xmltree.Document, src string) (values.Value, engine.Stats) {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, st, err := New().Evaluate(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	return v, st
+}
+
+func TestRejectsNonCore(t *testing.T) {
+	doc := workload.Figure2()
+	for _, src := range []string{
+		`//b[position() = 1]`, `count(//b)`, `//b[c = 100]`, `//b | 1 + 1`,
+	} {
+		q, err := syntax.Compile(src)
+		if err != nil {
+			continue // non-nset top levels may fail union typing; fine
+		}
+		if _, _, err := New().Evaluate(q, doc, engine.RootContext(doc)); err != ErrNotCore {
+			t.Errorf("%q: err = %v, want ErrNotCore", src, err)
+		}
+	}
+}
+
+func TestBasicPaths(t *testing.T) {
+	doc := workload.Figure2()
+	cases := map[string]string{
+		`/child::a/child::b`:                        "{x11, x21}",
+		`/descendant::d`:                            "{x14, x23, x24}",
+		`/descendant::b[child::d]`:                  "{x11, x21}",
+		`/descendant::c[following-sibling::d]`:      "{x12, x13, x22}",
+		`/descendant::*[not(descendant::node())]`:   "{x12, x13, x14, x22, x23, x24}",
+		`/descendant::b[child::c and child::d]`:     "{x11, x21}",
+		`/descendant::*[ancestor::b][not(self::d)]`: "{x12, x13, x22}",
+	}
+	for src, want := range cases {
+		v, _ := eval(t, doc, src)
+		if got := v.Set.String(); got != want {
+			t.Errorf("%q = %s, want %s", src, got, want)
+		}
+	}
+}
+
+// TestPredicatePathsWithInnerPredicates: nested Core XPath predicates.
+func TestPredicatePathsWithInnerPredicates(t *testing.T) {
+	doc := workload.Figure2()
+	v, _ := eval(t, doc, `/descendant::b[descendant::d[preceding-sibling::c]]`)
+	if got := v.Set.String(); got != "{x11, x21}" {
+		t.Errorf("got %s", got)
+	}
+}
+
+// TestLinearGrowth: axis-function calls are independent of |D| (they are
+// per-step), and total table cells grow linearly — Theorem 13's shape.
+func TestLinearGrowth(t *testing.T) {
+	src := `/descendant::b[child::c[following-sibling::d]]/child::c`
+	var cells [3]int64
+	sizes := []int{100, 200, 400}
+	for i, n := range sizes {
+		doc := workload.Scaled(n)
+		_, st := eval(t, doc, src)
+		cells[i] = st.TableCells
+	}
+	r1 := float64(cells[1]) / float64(cells[0])
+	r2 := float64(cells[2]) / float64(cells[1])
+	if r1 > 2.6 || r2 > 2.6 {
+		t.Errorf("cell growth %v not linear (ratios %.2f, %.2f)", cells, r1, r2)
+	}
+}
+
+// TestAbsolutePredicatePath: absolute paths inside predicates are all-or-
+// nothing over context nodes.
+func TestAbsolutePredicatePath(t *testing.T) {
+	doc := workload.Figure2()
+	v, _ := eval(t, doc, `/descendant::c[/child::a/child::b]`)
+	if v.Set.Len() != 3 {
+		t.Errorf("got %d nodes, want all c's (the absolute predicate holds globally)", v.Set.Len())
+	}
+	v2, _ := eval(t, doc, `/descendant::c[/child::zzz]`)
+	if !v2.Set.IsEmpty() {
+		t.Errorf("got %s, want ∅", v2.Set)
+	}
+}
+
+// TestRelativeContext: relative Core XPath queries start at the context node.
+func TestRelativeContext(t *testing.T) {
+	doc := workload.Figure2()
+	q, err := syntax.Compile(`child::c[following-sibling::d]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := New().Evaluate(q, doc, engine.Context{Node: doc.ByID("21"), Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Set.String(); got != "{x22}" {
+		t.Errorf("got %s", got)
+	}
+}

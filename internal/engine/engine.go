@@ -1,0 +1,130 @@
+// Package engine defines what all six evaluators in this repository share:
+// the evaluation context of Section 2.2, the Engine interface, the
+// instrumentation counters backing the space experiments (context-value
+// table cells are the quantity Theorems 7 and 10 bound), and small helpers
+// for node tests and step images that keep the per-engine code close to the
+// paper's pseudo-code.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/axes"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// Context is an XPath evaluation context 〈cn, cp, cs〉 (§2.2). Pos and Size
+// are 1-based; engines that support the wildcard contexts of the Section 6
+// pseudo-code use 0 to mean "∗" (irrelevant).
+type Context struct {
+	Node *xmltree.Node
+	Pos  int
+	Size int
+}
+
+// RootContext returns the default outermost context 〈root, 1, 1〉.
+func RootContext(doc *xmltree.Document) Context {
+	return Context{Node: doc.Root(), Pos: 1, Size: 1}
+}
+
+// Stats instruments one evaluation. TableCells counts every context-value
+// table cell written — the exact quantity the paper's space theorems bound.
+// ContextsEvaluated counts single-context expression evaluations (the time
+// proxy), and AxisCalls counts set-at-a-time axis function applications.
+type Stats struct {
+	TableCells        int64
+	ContextsEvaluated int64
+	AxisCalls         int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.TableCells += other.TableCells
+	s.ContextsEvaluated += other.ContextsEvaluated
+	s.AxisCalls += other.AxisCalls
+}
+
+// String summarizes the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("cells=%d contexts=%d axis-calls=%d",
+		s.TableCells, s.ContextsEvaluated, s.AxisCalls)
+}
+
+// Engine is one of the evaluation algorithms of the paper (or of its
+// predecessor [11], or the exponential comparator of §1).
+type Engine interface {
+	// Name returns the engine's identifier as used by the CLI and benches.
+	Name() string
+	// Evaluate evaluates the compiled query against the document in the
+	// given context, returning the result value and the instrumentation
+	// counters for this evaluation. Implementations are deterministic and
+	// safe for concurrent use on immutable documents.
+	Evaluate(q *syntax.Query, doc *xmltree.Document, ctx Context) (values.Value, Stats, error)
+}
+
+// MatchTest reports whether node n passes node test t. The document root is
+// matched only by node() — it is not part of dom (§2.1, cf. the running
+// example where dom excludes the root).
+func MatchTest(t syntax.NodeTest, n *xmltree.Node) bool {
+	switch t.Kind {
+	case syntax.TestNode:
+		return true
+	case syntax.TestStar:
+		return !n.IsRoot()
+	default:
+		return n.Label() == t.Name
+	}
+}
+
+// TestSet returns T(t) as a set: the nodes passing the node test. The
+// result is shared for TestName/TestStar/TestNode (cached on the document);
+// callers must not modify it.
+func TestSet(doc *xmltree.Document, t syntax.NodeTest) *xmltree.Set {
+	switch t.Kind {
+	case syntax.TestNode:
+		return doc.AllNodes()
+	case syntax.TestStar:
+		return doc.AllElements()
+	default:
+		return doc.LabelSet(t.Name)
+	}
+}
+
+// StepImage computes "nodes reachable from X via χ::t" (the Y of the
+// Section 6 pseudo-code): χ(X) ∩ T(t), in O(|D|).
+func StepImage(st *Stats, a axes.Axis, t syntax.NodeTest, x *xmltree.Set) *xmltree.Set {
+	st.AxisCalls++
+	y := axes.Apply(a, x)
+	y.IntersectWith(TestSet(x.Document(), t))
+	return y
+}
+
+// Candidates returns the ordered candidate list of step χ::t from a single
+// context node x: Neighborhood(χ, x) filtered by t, in the <doc,χ order
+// that makes idxχ the 1-based slice index.
+func Candidates(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node {
+	if t.Kind == syntax.TestNode {
+		return axes.Neighborhood(a, x, dst)
+	}
+	all := axes.Neighborhood(a, x, nil)
+	for _, n := range all {
+		if MatchTest(t, n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}
+
+// CandidatesWithin returns Candidates restricted to members of keep,
+// preserving order. Used where the pseudo-code writes Z := {z ∈ Y | x χ z}.
+func CandidatesWithin(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, keep *xmltree.Set, dst []*xmltree.Node) []*xmltree.Node {
+	all := axes.Neighborhood(a, x, nil)
+	for _, n := range all {
+		if MatchTest(t, n) && keep.Has(n) {
+			dst = append(dst, n)
+		}
+	}
+	return dst
+}

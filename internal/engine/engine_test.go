@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/axes"
+	"repro/internal/syntax"
+	"repro/internal/xmltree"
+)
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<a id="1"><b id="2"/><c id="3"><b id="4"/></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMatchTest(t *testing.T) {
+	d := doc(t)
+	root := d.Root()
+	a := d.ByID("1")
+	b := d.ByID("2")
+
+	name := syntax.NodeTest{Kind: syntax.TestName, Name: "b"}
+	star := syntax.NodeTest{Kind: syntax.TestStar}
+	node := syntax.NodeTest{Kind: syntax.TestNode}
+
+	if MatchTest(name, a) || !MatchTest(name, b) {
+		t.Error("name test wrong")
+	}
+	if MatchTest(star, root) || !MatchTest(star, a) {
+		t.Error("star test wrong: must exclude the document root")
+	}
+	if !MatchTest(node, root) || !MatchTest(node, b) {
+		t.Error("node() must match everything including the root")
+	}
+}
+
+func TestTestSet(t *testing.T) {
+	d := doc(t)
+	if got := TestSet(d, syntax.NodeTest{Kind: syntax.TestName, Name: "b"}).Len(); got != 2 {
+		t.Errorf("|T(b)| = %d", got)
+	}
+	if got := TestSet(d, syntax.NodeTest{Kind: syntax.TestStar}).Len(); got != 4 {
+		t.Errorf("|T(*)| = %d", got)
+	}
+	if got := TestSet(d, syntax.NodeTest{Kind: syntax.TestNode}).Len(); got != 5 {
+		t.Errorf("|node()| = %d", got)
+	}
+}
+
+func TestStepImage(t *testing.T) {
+	d := doc(t)
+	var st Stats
+	x := xmltree.Singleton(d.ByID("1"))
+	y := StepImage(&st, axes.Descendant, syntax.NodeTest{Kind: syntax.TestName, Name: "b"}, x)
+	if y.Len() != 2 {
+		t.Errorf("descendant::b from a: %v", y)
+	}
+	if st.AxisCalls != 1 {
+		t.Errorf("AxisCalls = %d", st.AxisCalls)
+	}
+}
+
+func TestCandidatesOrder(t *testing.T) {
+	d := doc(t)
+	// preceding from b#4: nodes before it, reverse document order.
+	got := Candidates(axes.Preceding, syntax.NodeTest{Kind: syntax.TestStar}, d.ByID("4"), nil)
+	if len(got) != 1 {
+		t.Fatalf("preceding::* from b#4: %d nodes", len(got))
+	}
+	if id, _ := got[0].Attr("id"); id != "2" {
+		t.Errorf("first preceding = %s", id)
+	}
+	// CandidatesWithin keeps order and filters.
+	keep := xmltree.Singleton(d.ByID("4"))
+	within := CandidatesWithin(axes.Descendant, syntax.NodeTest{Kind: syntax.TestName, Name: "b"},
+		d.ByID("1"), keep, nil)
+	if len(within) != 1 || within[0] != d.ByID("4") {
+		t.Errorf("CandidatesWithin: %v", within)
+	}
+}
+
+func TestRootContext(t *testing.T) {
+	d := doc(t)
+	ctx := RootContext(d)
+	if ctx.Node != d.Root() || ctx.Pos != 1 || ctx.Size != 1 {
+		t.Errorf("RootContext = %+v", ctx)
+	}
+}
+
+func TestStatsAddString(t *testing.T) {
+	a := Stats{TableCells: 1, ContextsEvaluated: 2, AxisCalls: 3}
+	a.Add(Stats{TableCells: 10, ContextsEvaluated: 20, AxisCalls: 30})
+	if a.TableCells != 11 || a.ContextsEvaluated != 22 || a.AxisCalls != 33 {
+		t.Errorf("Add: %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,136 @@
+package naive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+func eval(t *testing.T, doc *xmltree.Document, src string) (values.Value, engine.Stats) {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, st, err := New().Evaluate(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	return v, st
+}
+
+func doublingQuery(i int) string {
+	var b strings.Builder
+	b.WriteString("//b")
+	for k := 0; k < i; k++ {
+		b.WriteString("/parent::a/child::b")
+	}
+	return b.String()
+}
+
+// TestExponentialBlowup verifies the defining property of the naive
+// strategy: on the two-leaf document of [11], each parent/child round trip
+// doubles the work. This is the behavior §1 reports for XALAN, XT and IE6.
+func TestExponentialBlowup(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b/><b/></a>`)
+	var prev int64
+	for i := 2; i <= 8; i++ {
+		_, st := eval(t, doc, doublingQuery(i))
+		if i > 2 {
+			ratio := float64(st.ContextsEvaluated) / float64(prev)
+			if ratio < 1.7 || ratio > 2.3 {
+				t.Errorf("step %d: work ratio %.2f, want ≈2 (exponential doubling)", i, ratio)
+			}
+		}
+		prev = st.ContextsEvaluated
+	}
+}
+
+// TestResultsStayCorrect: despite duplicate-laden intermediate lists the
+// final result is a proper set.
+func TestResultsStayCorrect(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b/><b/></a>`)
+	v, _ := eval(t, doc, doublingQuery(5))
+	if v.Set.Len() != 2 {
+		t.Errorf("result size %d, want 2", v.Set.Len())
+	}
+}
+
+// TestWorkLimit: the exponential guard trips with an error, not a hang.
+func TestWorkLimit(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b/><b/></a>`)
+	q, err := syntax.Compile(doublingQuery(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := MaxWork
+	MaxWork = 10000
+	defer func() { MaxWork = old }()
+	_, _, err = New().Evaluate(q, doc, engine.RootContext(doc))
+	if _, ok := err.(*ErrWorkLimit); !ok {
+		t.Fatalf("err = %v, want ErrWorkLimit", err)
+	}
+}
+
+// TestScalarQueries: the naive engine handles non-path roots.
+func TestScalarQueries(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>1</b><b>2</b></a>`)
+	v, _ := eval(t, doc, `count(//b) * 10 + sum(//b)`)
+	if v.Num != 23 {
+		t.Errorf("got %v, want 23", v.Num)
+	}
+	v2, _ := eval(t, doc, `concat("n=", string(count(//b)))`)
+	if v2.Str != "n=2" {
+		t.Errorf("got %q", v2.Str)
+	}
+}
+
+// TestShortCircuit: and/or do not evaluate their right side when decided —
+// observable through the work counter.
+func TestShortCircuit(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b/><b/></a>`)
+	_, stCheap := eval(t, doc, `false() and (`+doublingQuery(12)+` = 0)`)
+	_, stFull := eval(t, doc, `true() and (`+doublingQuery(12)+` = 0)`)
+	if stCheap.ContextsEvaluated*100 > stFull.ContextsEvaluated {
+		t.Errorf("short-circuit did not skip work: cheap=%d full=%d",
+			stCheap.ContextsEvaluated, stFull.ContextsEvaluated)
+	}
+}
+
+// TestFilterAndUnionPaths: the naive engine's filter-head and union paths.
+func TestFilterAndUnionPaths(t *testing.T) {
+	doc := xmltree.MustParseString(`<a id="r"><b id="1">x</b><b id="2">y</b><c id="3">z</c></a>`)
+	cases := map[string]int{
+		`//b | //c`:        3,
+		`(//b)[2]`:         1,
+		`id("1 3")`:        2,
+		`(//b | //c)[3]`:   1,
+		`id("r")/child::b`: 2,
+	}
+	for src, want := range cases {
+		v, _ := eval(t, doc, src)
+		if v.Set.Len() != want {
+			t.Errorf("%q: %d nodes, want %d", src, v.Set.Len(), want)
+		}
+	}
+}
+
+// TestRelativeFromContext: relative paths resolve from the context node.
+func TestRelativeFromContext(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b id="b1"><c/></b><b id="b2"/></a>`)
+	q, err := syntax.Compile(`count(child::c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := New().Evaluate(q, doc, engine.Context{Node: doc.ByID("b1"), Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Num != 1 {
+		t.Errorf("got %v", v.Num)
+	}
+}

@@ -1,0 +1,283 @@
+package syntax
+
+import (
+	"repro/internal/axes"
+)
+
+// Fragment classifies a query into the paper's efficiency classes.
+type Fragment int
+
+// Fragments ordered from most to least restrictive; Core XPath is contained
+// in the Extended Wadler Fragment (proof sketch of Theorem 13).
+const (
+	// FragmentCoreXPath: Definition 12 — location paths whose predicates
+	// are and/or/not combinations of location paths. Evaluable in
+	// O(|D|·|Q|) time.
+	FragmentCoreXPath Fragment = iota
+	// FragmentExtendedWadler: Section 4, Restrictions 1–3. Evaluable in
+	// O(|D|²·|Q|²) time and O(|D|·|Q|²) space (Theorem 10).
+	FragmentExtendedWadler
+	// FragmentFullXPath: everything else; MINCONTEXT bounds apply
+	// (Theorem 7).
+	FragmentFullXPath
+)
+
+// String names the fragment.
+func (f Fragment) String() string {
+	switch f {
+	case FragmentCoreXPath:
+		return "core-xpath"
+	case FragmentExtendedWadler:
+		return "extended-wadler"
+	default:
+		return "full-xpath"
+	}
+}
+
+// classify determines the most restrictive fragment containing the query.
+func classify(q *Query) Fragment {
+	if isCoreXPath(q.Root) {
+		return FragmentCoreXPath
+	}
+	if isExtendedWadler(q) {
+		return FragmentExtendedWadler
+	}
+	return FragmentFullXPath
+}
+
+// isCoreXPath checks the query against the abstract grammar of
+// Definition 12, on the normalized tree: "cxp" is a location path of plain
+// steps; predicates are and/or/not combinations of boolean(cxp) (the
+// normalized spelling of the definition's bare "cxp" predicates).
+func isCoreXPath(e Expr) bool {
+	p, ok := e.(*Path)
+	return ok && isCorePath(p)
+}
+
+func isCorePath(p *Path) bool {
+	if p.Filter != nil || len(p.FPreds) != 0 {
+		return false
+	}
+	if !p.Abs && len(p.Steps) == 0 {
+		return false
+	}
+	for _, s := range p.Steps {
+		if s.Axis == axes.ID {
+			return false
+		}
+		for _, pred := range s.Preds {
+			if !isCorePred(pred) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isCorePred(e Expr) bool {
+	switch e := e.(type) {
+	case *Binary:
+		return (e.Op == OpAnd || e.Op == OpOr) && isCorePred(e.L) && isCorePred(e.R)
+	case *Call:
+		switch e.Fn {
+		case FnNot:
+			return isCorePred(e.Args[0])
+		case FnBoolean:
+			p, ok := e.Args[0].(*Path)
+			return ok && isCorePath(p)
+		}
+	case *Path:
+		// Un-normalized bare path predicate (Definition 12's "cxp").
+		return isCorePath(e)
+	}
+	return false
+}
+
+// isExtendedWadler checks Restrictions 1–3 of Section 4 plus the positional
+// constraint of Corollary 11: every node-set subexpression occurs either as
+// the whole query, under boolean(π), or as π RelOp s with a
+// context-independent scalar s.
+func isExtendedWadler(q *Query) bool {
+	var okExpr func(e Expr, nsetAllowed bool) bool
+
+	okScalarOperand := func(e Expr) bool {
+		// Restriction 2/3: the scalar must not depend on any context.
+		return q.Relev[e.ID()] == 0
+	}
+
+	okPathInternals := func(p *Path) bool {
+		if p.Filter != nil {
+			// Restriction 3 admits id(s)-headed paths when s is
+			// context-independent (the id(id(…(s)…)) case of §4, with the
+			// inner id() calls already rewritten into id-axis steps).
+			c, ok := p.Filter.(*Call)
+			if !ok || c.Fn != FnID || len(p.FPreds) != 0 || q.Relev[p.Filter.ID()] != 0 {
+				return false
+			}
+		}
+		for _, s := range p.Steps {
+			for _, pred := range s.Preds {
+				if !okExpr(pred, false) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	okExpr = func(e Expr, nsetAllowed bool) bool {
+		switch e := e.(type) {
+		case *NumberLit, *StringLit:
+			return true
+		case *Negate:
+			return okExpr(e.E, false)
+		case *Binary:
+			if e.Op.IsRelational() {
+				lN := e.L.ResultType() == TypeNodeSet
+				rN := e.R.ResultType() == TypeNodeSet
+				switch {
+				case lN && rN:
+					return false // Restriction 2: nset RelOp nset
+				case lN:
+					p, ok := e.L.(*Path)
+					return ok && okPathInternals(p) && okScalarOperand(e.R) && okExpr(e.R, false)
+				case rN:
+					p, ok := e.R.(*Path)
+					return ok && okPathInternals(p) && okScalarOperand(e.L) && okExpr(e.L, false)
+				}
+			}
+			return okExpr(e.L, false) && okExpr(e.R, false)
+		case *Call:
+			switch e.Fn {
+			case FnLocalName, FnName, FnString, FnNumber, FnStringLength,
+				FnNormalizeSpace:
+				return false // Restriction 1: data-selecting functions
+			case FnCount, FnSum:
+				return false // Restriction 2
+			case FnID:
+				// Restriction 3: id(s) with context-independent s. (id with
+				// node-set argument was rewritten to a path by
+				// normalization, so the argument here is scalar.)
+				return okScalarOperand(e.Args[0]) && okExpr(e.Args[0], false)
+			case FnBoolean:
+				if p, ok := e.Args[0].(*Path); ok {
+					return okPathInternals(p)
+				}
+				return okExpr(e.Args[0], false)
+			}
+			for _, a := range e.Args {
+				if a.ResultType() == TypeNodeSet {
+					return false
+				}
+				if !okExpr(a, false) {
+					return false
+				}
+			}
+			return true
+		case *Union:
+			if !nsetAllowed {
+				return false
+			}
+			for _, p := range e.Paths {
+				pp, ok := p.(*Path)
+				if !ok || !okPathInternals(pp) {
+					return false
+				}
+			}
+			return true
+		case *Path:
+			return nsetAllowed && okPathInternals(e)
+		case *Step:
+			return false // steps are reached via okPathInternals only
+		}
+		return false
+	}
+
+	return okExpr(q.Root, true)
+}
+
+// findBottomUpPaths returns, innermost-first, the IDs of the subexpressions
+// that OPTMINCONTEXT (Algorithm 8) evaluates bottom-up: boolean(π) and
+// π RelOp s nodes where π is a pure location path (named axes and the
+// id-axis) and s is a context-independent expression of type nset, str or
+// num. (π RelOp bool was already rewritten to boolean(π) RelOp bool by
+// normalization, matching the treatment in Section 4.)
+func findBottomUpPaths(q *Query) []int {
+	var out []int
+	var walk func(e Expr)
+	eligible := func(e Expr) (*Path, bool) {
+		switch e := e.(type) {
+		case *Call:
+			if e.Fn == FnBoolean {
+				if p, ok := e.Args[0].(*Path); ok && p.IsPureSteps() {
+					return p, true
+				}
+			}
+		case *Binary:
+			if p, _, ok := q.bottomUpOperands(e); ok {
+				return p, true
+			}
+		}
+		return nil, false
+	}
+	walk = func(e Expr) {
+		// Post-order: children first, so nested bottom-up paths (e.g. inside
+		// predicates of π) are listed before their enclosing expression —
+		// the "starting with the innermost ones" order of Algorithm 8.
+		for _, c := range e.children() {
+			walk(c)
+		}
+		if _, ok := eligible(e); ok {
+			out = append(out, e.ID())
+		}
+	}
+	walk(q.Root)
+	return out
+}
+
+// bottomUpOperands decomposes a relational expression into the location
+// path π and the context-independent operand s of the π RelOp s shape
+// handled by eval_bottomup_path. The left operand is preferred as the path
+// when both sides qualify; the returned operator reads left-to-right with π
+// on the left. s may itself be of type nset when context-independent (e.g.
+// id("k")) — the nset case of the pseudo-code's step 1. Comparisons against
+// booleans were rewritten to boolean(π) RelOp b by normalization and are
+// not bottom-up shapes here.
+func (q *Query) bottomUpOperands(e *Binary) (pi *Path, op BinOp, ok bool) {
+	if !e.Op.IsRelational() {
+		return nil, 0, false
+	}
+	qualifies := func(pe, se Expr) bool {
+		p, isPath := pe.(*Path)
+		return isPath && p.IsPureSteps() &&
+			se.ResultType() != TypeBoolean && q.Relev[se.ID()] == 0
+	}
+	if qualifies(e.L, e.R) {
+		return e.L.(*Path), e.Op, true
+	}
+	if qualifies(e.R, e.L) {
+		return e.R.(*Path), e.Op.Mirror(), true
+	}
+	return nil, 0, false
+}
+
+// BottomUpPath returns the location path π of an eligible bottom-up node
+// (boolean(π) or π RelOp s) together with the scalar operand s and the
+// operator; for boolean(π), s is nil. The caller must pass an ID from
+// Query.BottomUp.
+func (q *Query) BottomUpPath(id int) (pi *Path, op BinOp, scalar Expr) {
+	switch e := q.Nodes[id].(type) {
+	case *Call:
+		return e.Args[0].(*Path), 0, nil
+	case *Binary:
+		p, op, ok := q.bottomUpOperands(e)
+		if !ok {
+			break
+		}
+		if p == e.L {
+			return p, op, e.R
+		}
+		return p, op, e.L
+	}
+	panic("syntax: BottomUpPath: node is not a bottom-up path expression")
+}

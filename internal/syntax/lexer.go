@@ -1,0 +1,293 @@
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens of the XPath 1.0 grammar.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokLiteral  // quoted string
+	tokName     // NCName (possibly an axis, function or operator name)
+	tokVariable // $name
+	tokSlash
+	tokDoubleSlash
+	tokUnion // |
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokStar // wildcard or multiply, disambiguated by the parser
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+	tokDotDot
+	tokAt
+	tokAxisSep // ::
+	tokAnd     // operator-name tokens produced by the disambiguation rule
+	tokOr
+	tokDiv
+	tokMod
+)
+
+// token is a single lexical token with its source position for error
+// reporting. For '*' tokens, isOp records how the disambiguation rule
+// resolved it (multiply operator vs. wildcard): the resolution of the
+// *next* token depends on it.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+	isOp bool
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return strconv.FormatFloat(t.num, 'f', -1, 64)
+	case tokLiteral:
+		return `"` + t.text + `"`
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes an XPath 1.0 expression, implementing the REC's lexical
+// disambiguation rules:
+//
+//   - if there is a preceding token, and it is none of @, ::, (, [, an
+//     operator, 'and'/'or'/'div'/'mod', then '*' is the multiply operator
+//     and an NCName must be recognized as an operator name;
+//   - an NCName followed by '(' is a function name (node-type names are
+//     resolved by the parser);
+//   - an NCName followed by '::' is an axis name (resolved by the parser).
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole expression up front; XPath expressions are short
+// (|Q| ≪ |D|), so a token slice keeps the parser simple and allows
+// arbitrary lookahead.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+// precedesOperatorBefore reports how the token being emitted right now is
+// classified by the rule (the current token is not yet in l.toks).
+func (l *lexer) precedesOperatorBefore() bool { return l.precedesOperator() }
+
+// precedesOperator reports whether, per the disambiguation rule, the last
+// emitted token forces the next '*' / NCName to be read as an operator.
+func (l *lexer) precedesOperator() bool {
+	if len(l.toks) == 0 {
+		return false
+	}
+	last := l.toks[len(l.toks)-1]
+	switch last.kind {
+	case tokAt, tokAxisSep, tokLParen, tokLBracket, tokComma,
+		tokAnd, tokOr, tokDiv, tokMod,
+		tokSlash, tokDoubleSlash, tokUnion, tokPlus, tokMinus,
+		tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return false
+	case tokStar:
+		// A '*' resolved as the multiply operator behaves like any other
+		// operator (an operand follows); a wildcard node test completes an
+		// expression, so an NCName after it must be an operator name.
+		return !last.isOp
+	}
+	return true
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	emit := func(k tokenKind, n int) (token, error) {
+		t := token{kind: k, text: l.src[start : start+n], pos: start}
+		l.pos += n
+		return t, nil
+	}
+	switch c {
+	case '(':
+		return emit(tokLParen, 1)
+	case ')':
+		return emit(tokRParen, 1)
+	case '[':
+		return emit(tokLBracket, 1)
+	case ']':
+		return emit(tokRBracket, 1)
+	case ',':
+		return emit(tokComma, 1)
+	case '@':
+		return emit(tokAt, 1)
+	case '|':
+		return emit(tokUnion, 1)
+	case '+':
+		return emit(tokPlus, 1)
+	case '-':
+		return emit(tokMinus, 1)
+	case '=':
+		return emit(tokEq, 1)
+	case '!':
+		if l.peekAt(1) == '=' {
+			return emit(tokNeq, 2)
+		}
+		return token{}, fmt.Errorf("syntax: offset %d: '!' must be followed by '='", start)
+	case '<':
+		if l.peekAt(1) == '=' {
+			return emit(tokLe, 2)
+		}
+		return emit(tokLt, 1)
+	case '>':
+		if l.peekAt(1) == '=' {
+			return emit(tokGe, 2)
+		}
+		return emit(tokGt, 1)
+	case '*':
+		t, err := emit(tokStar, 1)
+		t.isOp = l.precedesOperatorBefore()
+		return t, err
+	case '/':
+		if l.peekAt(1) == '/' {
+			return emit(tokDoubleSlash, 2)
+		}
+		return emit(tokSlash, 1)
+	case ':':
+		if l.peekAt(1) == ':' {
+			return emit(tokAxisSep, 2)
+		}
+		return token{}, fmt.Errorf("syntax: offset %d: unexpected ':' (namespace-qualified names are outside the paper's data model)", start)
+	case '.':
+		if l.peekAt(1) == '.' {
+			return emit(tokDotDot, 2)
+		}
+		if isDigit(l.peekAt(1)) {
+			return l.lexNumber()
+		}
+		return emit(tokDot, 1)
+	case '"', '\'':
+		end := strings.IndexByte(l.src[l.pos+1:], c)
+		if end < 0 {
+			return token{}, fmt.Errorf("syntax: offset %d: unterminated string literal", start)
+		}
+		t := token{kind: tokLiteral, text: l.src[l.pos+1 : l.pos+1+end], pos: start}
+		l.pos += end + 2
+		return t, nil
+	case '$':
+		l.pos++
+		name := l.lexNCName()
+		if name == "" {
+			return token{}, fmt.Errorf("syntax: offset %d: '$' must be followed by a variable name", start)
+		}
+		return token{kind: tokVariable, text: name, pos: start}, nil
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) {
+		name := l.lexNCName()
+		if l.precedesOperator() {
+			switch name {
+			case "and":
+				return token{kind: tokAnd, text: name, pos: start}, nil
+			case "or":
+				return token{kind: tokOr, text: name, pos: start}, nil
+			case "div":
+				return token{kind: tokDiv, text: name, pos: start}, nil
+			case "mod":
+				return token{kind: tokMod, text: name, pos: start}, nil
+			}
+			return token{}, fmt.Errorf("syntax: offset %d: expected an operator, found %q", start, name)
+		}
+		return token{kind: tokName, text: name, pos: start}, nil
+	}
+	return token{}, fmt.Errorf("syntax: offset %d: unexpected character %q", start, string(c))
+}
+
+// lexNumber scans an XPath Number: Digits ('.' Digits?)? | '.' Digits.
+// There is no exponent form in XPath 1.0.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, fmt.Errorf("syntax: offset %d: bad number %q", start, text)
+	}
+	return token{kind: tokNumber, text: text, num: v, pos: start}, nil
+}
+
+// lexNCName scans an NCName (letters, digits, '-', '_', '.'; no colon).
+// '.' is included per the XML Name grammar; the caller has already handled
+// leading '.' tokens, and a trailing '.' never starts a Name continuation
+// ambiguity in XPath since abbreviated steps are tokenized first.
+func (l *lexer) lexNCName() string {
+	start := l.pos
+	if l.pos >= len(l.src) || !isNameStart(rune(l.src[l.pos])) {
+		return ""
+	}
+	l.pos++
+	for l.pos < len(l.src) && isNameChar(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,242 @@
+package syntax
+
+import (
+	"repro/internal/axes"
+)
+
+// normalize rewrites a raw parse tree into the normal form the paper's
+// algorithms assume (§2.2: "W.l.o.g., we assume that all type conversions
+// are made explicit"):
+//
+//  1. id(e) with a node-set argument becomes a location path ending in the
+//     id-"axis" step of Section 4 (id(id(π)) ⇒ π/id/id).
+//  2. Numeric predicates [e] become [position() = e]; string and node-set
+//     predicates become [boolean(e)] (the implicit conversions of the REC).
+//  3. nset RelOp bool is rewritten to boolean(nset) RelOp bool, matching
+//     F[[RelOp : nset × bool]] of Figure 1.
+//  4. Unions are flattened, and — per Section 4 — boolean(π1|…|πk) becomes
+//     boolean(π1) or … or boolean(πk), and (π1|…|πk) RelOp s becomes
+//     (π1 RelOp s) or … or (πk RelOp s) when the other operand is scalar.
+//
+// The rewrites are semantics-preserving for all of XPath 1.0 (the union
+// distributions hold because RelOp over node sets is existential).
+func normalize(e Expr) Expr {
+	switch e := e.(type) {
+	case *NumberLit, *StringLit:
+		return e
+
+	case *Negate:
+		e.E = normalize(e.E)
+		return e
+
+	case *Call:
+		for i := range e.Args {
+			e.Args[i] = normalize(e.Args[i])
+		}
+		if e.Fn == FnID && len(e.Args) == 1 && e.Args[0].ResultType() == TypeNodeSet {
+			return appendIDStep(e.Args[0])
+		}
+		if e.Fn == FnBoolean {
+			if u, ok := e.Args[0].(*Union); ok {
+				return orChain(u.Paths, func(p Expr) Expr {
+					return &Call{Fn: FnBoolean, Args: []Expr{p}}
+				})
+			}
+		}
+		// Make the node-set-to-scalar conversions of typed parameters
+		// explicit (§2.2): a node-set argument in a boolean/string/number
+		// parameter position becomes boolean(π)/string(π)/number(π).
+		for i := range e.Args {
+			if e.Args[i].ResultType() != TypeNodeSet {
+				continue
+			}
+			switch paramKind(e.Fn, i) {
+			case TypeBoolean:
+				e.Args[i] = normalize(&Call{Fn: FnBoolean, Args: []Expr{e.Args[i]}})
+			case TypeString:
+				e.Args[i] = normalize(&Call{Fn: FnString, Args: []Expr{e.Args[i]}})
+			case TypeNumber:
+				e.Args[i] = normalize(&Call{Fn: FnNumber, Args: []Expr{e.Args[i]}})
+			}
+		}
+		return e
+
+	case *Binary:
+		e.L = normalize(e.L)
+		e.R = normalize(e.R)
+		if !e.Op.IsRelational() {
+			return e
+		}
+		lt, rt := e.L.ResultType(), e.R.ResultType()
+		// Rewrite 3: nset RelOp bool ⇒ boolean(nset) RelOp bool.
+		if lt == TypeNodeSet && rt == TypeBoolean {
+			e.L = normalize(&Call{Fn: FnBoolean, Args: []Expr{e.L}})
+			lt = TypeBoolean
+		}
+		if rt == TypeNodeSet && lt == TypeBoolean {
+			e.R = normalize(&Call{Fn: FnBoolean, Args: []Expr{e.R}})
+			rt = TypeBoolean
+		}
+		// Rewrite 4: distribute a union operand over the comparison when
+		// the other side is scalar. The scalar is deep-copied into each
+		// branch: parse-tree nodes must stay unshared so the dense ID
+		// numbering (and with it per-node tables) remains well-defined.
+		if u, ok := e.L.(*Union); ok && rt != TypeNodeSet {
+			op, r := e.Op, e.R
+			return orChain(u.Paths, func(p Expr) Expr {
+				return &Binary{Op: op, L: p, R: cloneExpr(r)}
+			})
+		}
+		if u, ok := e.R.(*Union); ok && lt != TypeNodeSet {
+			op, l := e.Op, e.L
+			return orChain(u.Paths, func(p Expr) Expr {
+				return &Binary{Op: op, L: cloneExpr(l), R: p}
+			})
+		}
+		return e
+
+	case *Union:
+		var flat []Expr
+		for _, p := range e.Paths {
+			p = normalize(p)
+			if inner, ok := p.(*Union); ok {
+				flat = append(flat, inner.Paths...)
+			} else {
+				flat = append(flat, p)
+			}
+		}
+		e.Paths = flat
+		return e
+
+	case *Path:
+		if e.Filter != nil {
+			e.Filter = normalize(e.Filter)
+			// A normalized filter may itself have become a path (id()
+			// rewriting); merge step lists so that MINCONTEXT sees one
+			// location path rather than a nested head.
+			if fp, ok := e.Filter.(*Path); ok && len(e.FPreds) == 0 {
+				merged := &Path{Abs: fp.Abs, Filter: fp.Filter, FPreds: fp.FPreds}
+				merged.Steps = append(merged.Steps, fp.Steps...)
+				merged.Steps = append(merged.Steps, e.Steps...)
+				e = merged
+			}
+		}
+		for i := range e.FPreds {
+			e.FPreds[i] = normalizePredicate(e.FPreds[i])
+		}
+		for _, s := range e.Steps {
+			for i := range s.Preds {
+				s.Preds[i] = normalizePredicate(s.Preds[i])
+			}
+		}
+		return e
+
+	case *Step:
+		// Steps are normalized via their owning Path.
+		return e
+	}
+	panic("syntax: normalize: unhandled expression")
+}
+
+// normalizePredicate applies the implicit predicate conversions of the REC:
+// a number predicate tests the context position, any other non-boolean
+// predicate is wrapped in boolean().
+func normalizePredicate(e Expr) Expr {
+	e = normalize(e)
+	switch e.ResultType() {
+	case TypeBoolean:
+		return e
+	case TypeNumber:
+		return normalize(&Binary{Op: OpEq, L: &Call{Fn: FnPosition}, R: e})
+	default:
+		return normalize(&Call{Fn: FnBoolean, Args: []Expr{e}})
+	}
+}
+
+// paramKind returns the declared scalar type of parameter i of fn, or
+// TypeNodeSet when the parameter accepts node sets (or any type) unchanged.
+func paramKind(fn Func, i int) Type {
+	switch fn {
+	case FnNot:
+		return TypeBoolean
+	case FnStartsWith, FnContains, FnSubstringBefore, FnSubstringAfter,
+		FnConcat, FnStringLength, FnNormalizeSpace, FnTranslate, FnLang:
+		return TypeString
+	case FnSubstring:
+		if i == 0 {
+			return TypeString
+		}
+		return TypeNumber
+	case FnFloor, FnCeiling, FnRound:
+		return TypeNumber
+	}
+	// boolean/string/number/count/sum/id/name/local-name take node sets (or
+	// any type) directly.
+	return TypeNodeSet
+}
+
+// appendIDStep turns a node-set expression into the same expression followed
+// by one id-axis location step (the id-"axis" rewriting of Section 4).
+func appendIDStep(e Expr) Expr {
+	idStep := &Step{Axis: axes.ID, Test: NodeTest{Kind: TestNode}}
+	if p, ok := e.(*Path); ok {
+		p.Steps = append(p.Steps, idStep)
+		return p
+	}
+	return &Path{Filter: e, Steps: []*Step{idStep}}
+}
+
+// cloneExpr returns a structurally identical copy of a (normalized)
+// expression with fresh, unshared nodes.
+func cloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *NumberLit:
+		return &NumberLit{Val: e.Val}
+	case *StringLit:
+		return &StringLit{Val: e.Val}
+	case *Negate:
+		return &Negate{E: cloneExpr(e.E)}
+	case *Binary:
+		return &Binary{Op: e.Op, L: cloneExpr(e.L), R: cloneExpr(e.R)}
+	case *Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = cloneExpr(a)
+		}
+		return &Call{Fn: e.Fn, Args: args}
+	case *Union:
+		paths := make([]Expr, len(e.Paths))
+		for i, p := range e.Paths {
+			paths[i] = cloneExpr(p)
+		}
+		return &Union{Paths: paths}
+	case *Path:
+		out := &Path{Abs: e.Abs}
+		if e.Filter != nil {
+			out.Filter = cloneExpr(e.Filter)
+		}
+		for _, p := range e.FPreds {
+			out.FPreds = append(out.FPreds, cloneExpr(p))
+		}
+		for _, s := range e.Steps {
+			out.Steps = append(out.Steps, cloneExpr(s).(*Step))
+		}
+		return out
+	case *Step:
+		out := &Step{Axis: e.Axis, Test: e.Test}
+		for _, p := range e.Preds {
+			out.Preds = append(out.Preds, cloneExpr(p))
+		}
+		return out
+	}
+	panic("syntax: cloneExpr: unhandled expression")
+}
+
+// orChain builds f(e1) or f(e2) or … or f(ek), left-associated.
+func orChain(exprs []Expr, f func(Expr) Expr) Expr {
+	out := normalize(f(exprs[0]))
+	for _, e := range exprs[1:] {
+		out = &Binary{Op: OpOr, L: out, R: normalize(f(e))}
+	}
+	return out
+}

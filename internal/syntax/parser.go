@@ -1,0 +1,567 @@
+package syntax
+
+import (
+	"fmt"
+
+	"repro/internal/axes"
+)
+
+// ParseError is returned for syntactically invalid expressions or for XPath
+// 1.0 constructs that fall outside the paper's data model (attribute and
+// namespace axes, text()/comment()/processing-instruction() node tests).
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("syntax: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+// parser is a recursive-descent parser for the full XPath 1.0 expression
+// grammar (W3C REC sections 2 and 3), producing the raw AST that Compile
+// then normalizes.
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+	vars map[string]VarBinding
+}
+
+// Parse parses an XPath 1.0 expression with no variable bindings.
+func Parse(src string) (Expr, error) { return ParseWithVars(src, nil) }
+
+// ParseWithVars parses an XPath 1.0 expression, replacing each variable
+// reference by the constant value of the input binding (Section 2.2).
+// Unbound variables are an error.
+func ParseWithVars(src string, vars map[string]VarBinding) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks, vars: vars}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after complete expression", p.peek())
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errorf("expected %s, found %s", what, p.peek())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Input: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseExpr parses OrExpr, the grammar's start symbol for expressions.
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(0)
+}
+
+// binOpFor maps the lookahead token to a binary operator at the given
+// precedence level. Levels: 0 or, 1 and, 2 equality, 3 relational,
+// 4 additive, 5 multiplicative.
+func binOpFor(t token, level int) (BinOp, bool) {
+	switch level {
+	case 0:
+		if t.kind == tokOr {
+			return OpOr, true
+		}
+	case 1:
+		if t.kind == tokAnd {
+			return OpAnd, true
+		}
+	case 2:
+		switch t.kind {
+		case tokEq:
+			return OpEq, true
+		case tokNeq:
+			return OpNeq, true
+		}
+	case 3:
+		switch t.kind {
+		case tokLt:
+			return OpLt, true
+		case tokLe:
+			return OpLe, true
+		case tokGt:
+			return OpGt, true
+		case tokGe:
+			return OpGe, true
+		}
+	case 4:
+		switch t.kind {
+		case tokPlus:
+			return OpAdd, true
+		case tokMinus:
+			return OpSub, true
+		}
+	case 5:
+		switch t.kind {
+		case tokStar:
+			return OpMul, true
+		case tokDiv:
+			return OpDiv, true
+		case tokMod:
+			return OpMod, true
+		}
+	}
+	return 0, false
+}
+
+// parseBinary parses left-associative binary operator levels; below the
+// multiplicative level it hands off to UnaryExpr.
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level > 5 {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := binOpFor(p.peek(), level)
+		if !ok {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+// parseUnary parses UnaryExpr ::= UnionExpr | '-' UnaryExpr.
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokMinus) {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Negate{E: e}, nil
+	}
+	return p.parseUnion()
+}
+
+// parseUnion parses UnionExpr ::= PathExpr ('|' PathExpr)*.
+func (p *parser) parseUnion() (Expr, error) {
+	first, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokUnion) {
+		return first, nil
+	}
+	paths := []Expr{first}
+	for p.accept(tokUnion) {
+		next, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, next)
+	}
+	for _, e := range paths {
+		if e.ResultType() != TypeNodeSet {
+			return nil, p.errorf("operand of '|' must be a node set, got %s", e.ResultType())
+		}
+	}
+	return &Union{Paths: paths}, nil
+}
+
+// startsStep reports whether the lookahead can begin a location step.
+func (p *parser) startsStep() bool {
+	switch p.peek().kind {
+	case tokDot, tokDotDot, tokAt, tokStar, tokName:
+		return true
+	}
+	return false
+}
+
+// startsFilter reports whether the lookahead begins a FilterExpr: a primary
+// expression. An NCName followed by '(' is a function call unless it is a
+// node-type name.
+func (p *parser) startsFilter() bool {
+	switch p.peek().kind {
+	case tokVariable, tokLParen, tokLiteral, tokNumber:
+		return true
+	case tokName:
+		if p.toks[p.pos+1].kind == tokLParen && !isNodeType(p.peek().text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNodeType(name string) bool {
+	switch name {
+	case "node", "text", "comment", "processing-instruction":
+		return true
+	}
+	return false
+}
+
+// parsePath parses PathExpr ::= LocationPath
+// | FilterExpr (('/'|'//') RelativeLocationPath)?.
+func (p *parser) parsePath() (Expr, error) {
+	if p.startsFilter() {
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		var preds []Expr
+		for p.at(tokLBracket) {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, pred)
+		}
+		hasPathTail := p.at(tokSlash) || p.at(tokDoubleSlash)
+		if len(preds) == 0 && !hasPathTail {
+			return prim, nil
+		}
+		if prim.ResultType() != TypeNodeSet {
+			return nil, p.errorf("predicates and '/' require a node-set primary, got %s", prim.ResultType())
+		}
+		path := &Path{Filter: prim, FPreds: preds}
+		if err := p.parseStepsInto(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	}
+
+	// LocationPath.
+	path := &Path{}
+	switch {
+	case p.at(tokSlash):
+		path.Abs = true
+		p.advance()
+		if !p.startsStep() {
+			// Bare "/" selects the document root.
+			return path, nil
+		}
+		if err := p.parseStepList(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	case p.at(tokDoubleSlash):
+		path.Abs = true
+		p.advance()
+		path.Steps = append(path.Steps, descendantOrSelfNodeStep())
+		if err := p.parseStepList(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	case p.startsStep():
+		if err := p.parseStepList(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	}
+	return nil, p.errorf("expected an expression, found %s", p.peek())
+}
+
+// parseStepsInto parses the ('/'|'//') RelativeLocationPath tail of a
+// FilterExpr-headed path.
+func (p *parser) parseStepsInto(path *Path) error {
+	for {
+		switch {
+		case p.accept(tokSlash):
+		case p.accept(tokDoubleSlash):
+			path.Steps = append(path.Steps, descendantOrSelfNodeStep())
+		default:
+			return nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+}
+
+// parseStepList parses Step (('/'|'//') Step)*.
+func (p *parser) parseStepList(path *Path) error {
+	step, err := p.parseStep()
+	if err != nil {
+		return err
+	}
+	path.Steps = append(path.Steps, step)
+	for {
+		switch {
+		case p.accept(tokSlash):
+		case p.accept(tokDoubleSlash):
+			path.Steps = append(path.Steps, descendantOrSelfNodeStep())
+		default:
+			return nil
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+}
+
+func descendantOrSelfNodeStep() *Step {
+	return &Step{Axis: axes.DescendantOrSelf, Test: NodeTest{Kind: TestNode}}
+}
+
+// parseStep parses one location step, including the abbreviations '.', '..'
+// and the default child axis.
+func (p *parser) parseStep() (*Step, error) {
+	switch {
+	case p.accept(tokDot):
+		return &Step{Axis: axes.Self, Test: NodeTest{Kind: TestNode}}, nil
+	case p.accept(tokDotDot):
+		return &Step{Axis: axes.Parent, Test: NodeTest{Kind: TestNode}}, nil
+	case p.at(tokAt):
+		return nil, p.errorf("the attribute axis is outside the paper's data model (§2.1)")
+	}
+
+	axis := axes.Child
+	if p.at(tokName) && p.toks[p.pos+1].kind == tokAxisSep {
+		name := p.advance().text
+		p.advance() // '::'
+		switch name {
+		case "attribute", "namespace":
+			return nil, p.errorf("the %s axis is outside the paper's data model (§2.1)", name)
+		}
+		a, ok := axes.ByName(name)
+		if !ok || a == axes.ID {
+			return nil, p.errorf("unknown axis %q", name)
+		}
+		axis = a
+	}
+
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	step := &Step{Axis: axis, Test: test}
+	for p.at(tokLBracket) {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+// parseNodeTest parses NameTest | 'node' '(' ')'. The text(), comment() and
+// processing-instruction() node tests address node kinds the paper's
+// single-kind data model does not have.
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	if p.accept(tokStar) {
+		return NodeTest{Kind: TestStar}, nil
+	}
+	tok, err := p.expect(tokName, "a node test")
+	if err != nil {
+		return NodeTest{}, err
+	}
+	if p.at(tokLParen) {
+		switch tok.text {
+		case "node":
+			p.advance()
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return NodeTest{}, err
+			}
+			return NodeTest{Kind: TestNode}, nil
+		case "text", "comment", "processing-instruction":
+			return NodeTest{}, p.errorf("node test %s() is outside the paper's single-kind data model (§2.1)", tok.text)
+		default:
+			return NodeTest{}, p.errorf("unexpected '(' after node test %q", tok.text)
+		}
+	}
+	return NodeTest{Kind: TestName, Name: tok.text}, nil
+}
+
+// parsePredicate parses '[' Expr ']'.
+func (p *parser) parsePredicate() (Expr, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parsePrimary parses PrimaryExpr ::= VariableReference | '(' Expr ')' |
+// Literal | Number | FunctionCall.
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.peek().kind {
+	case tokVariable:
+		tok := p.advance()
+		b, ok := p.vars[tok.text]
+		if !ok {
+			return nil, &ParseError{Input: p.src, Pos: tok.pos,
+				Msg: fmt.Sprintf("unbound variable $%s (§2.2 requires an input binding)", tok.text)}
+		}
+		switch b.Type {
+		case TypeNumber:
+			return &NumberLit{Val: b.Num}, nil
+		case TypeString:
+			return &StringLit{Val: b.Str}, nil
+		case TypeBoolean:
+			if b.Bool {
+				return &Call{Fn: FnTrue}, nil
+			}
+			return &Call{Fn: FnFalse}, nil
+		default:
+			return nil, &ParseError{Input: p.src, Pos: tok.pos,
+				Msg: "node-set variable bindings are not supported"}
+		}
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLiteral:
+		return &StringLit{Val: p.advance().text}, nil
+	case tokNumber:
+		return &NumberLit{Val: p.advance().num}, nil
+	case tokName:
+		return p.parseFunctionCall()
+	}
+	return nil, p.errorf("expected a primary expression, found %s", p.peek())
+}
+
+// parseFunctionCall parses name '(' (Expr (',' Expr)*)? ')' and checks the
+// call against the core-library signature.
+func (p *parser) parseFunctionCall() (Expr, error) {
+	tok := p.advance()
+	fn, ok := FuncByName(tok.text)
+	if !ok {
+		return nil, &ParseError{Input: p.src, Pos: tok.pos,
+			Msg: fmt.Sprintf("unknown function %s()", tok.text)}
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.at(tokRParen) {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	call := &Call{Fn: fn, Args: args}
+	if err := checkSignature(call); err != nil {
+		return nil, &ParseError{Input: p.src, Pos: tok.pos, Msg: err.Error()}
+	}
+	return call, nil
+}
+
+// checkSignature validates arity and those argument types that XPath 1.0
+// fixes statically (node-set-only parameters). Scalar parameters accept any
+// type; the implicit conversions of the REC are applied by normalization
+// and by the effective semantics function F at evaluation time.
+func checkSignature(c *Call) error {
+	arity := func(min, max int) error {
+		if len(c.Args) < min || len(c.Args) > max {
+			if min == max {
+				return fmt.Errorf("%s() expects %d argument(s), got %d", c.Fn, min, len(c.Args))
+			}
+			return fmt.Errorf("%s() expects %d to %d arguments, got %d", c.Fn, min, max, len(c.Args))
+		}
+		return nil
+	}
+	needNodeSet := func(i int) error {
+		if c.Args[i].ResultType() != TypeNodeSet {
+			return fmt.Errorf("argument %d of %s() must be a node set, got %s",
+				i+1, c.Fn, c.Args[i].ResultType())
+		}
+		return nil
+	}
+	switch c.Fn {
+	case FnLast, FnPosition, FnTrue, FnFalse:
+		return arity(0, 0)
+	case FnCount, FnSum:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+		return needNodeSet(0)
+	case FnID:
+		return arity(1, 1)
+	case FnLocalName, FnName:
+		if err := arity(0, 1); err != nil {
+			return err
+		}
+		if len(c.Args) == 1 {
+			return needNodeSet(0)
+		}
+		return nil
+	case FnString, FnNumber, FnNormalizeSpace:
+		return arity(0, 1)
+	case FnBoolean, FnNot, FnLang, FnStringLength, FnFloor, FnCeiling, FnRound:
+		if c.Fn == FnStringLength || c.Fn == FnLang {
+			if c.Fn == FnLang {
+				return arity(1, 1)
+			}
+			return arity(0, 1)
+		}
+		return arity(1, 1)
+	case FnConcat:
+		if len(c.Args) < 2 {
+			return fmt.Errorf("concat() expects at least 2 arguments, got %d", len(c.Args))
+		}
+		return nil
+	case FnStartsWith, FnContains, FnSubstringBefore, FnSubstringAfter:
+		return arity(2, 2)
+	case FnSubstring:
+		return arity(2, 3)
+	case FnTranslate:
+		return arity(3, 3)
+	}
+	return fmt.Errorf("unhandled function %s()", c.Fn)
+}

@@ -1,0 +1,73 @@
+package syntax
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the numeric literal the way XPath's to_string would.
+func (e *NumberLit) String() string {
+	return strconv.FormatFloat(e.Val, 'f', -1, 64)
+}
+
+// String renders the string literal, choosing a quote character that does
+// not occur in the value (XPath has no escapes inside literals).
+func (e *StringLit) String() string {
+	if !strings.Contains(e.Val, `"`) {
+		return `"` + e.Val + `"`
+	}
+	return "'" + e.Val + "'"
+}
+
+// String renders the binary expression fully parenthesized, which is always
+// re-parseable and keeps operator precedence unambiguous in table dumps.
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// String renders unary minus.
+func (e *Negate) String() string { return "-(" + e.E.String() + ")" }
+
+// String renders the function call.
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders the union of paths.
+func (e *Union) String() string {
+	parts := make([]string, len(e.Paths))
+	for i, p := range e.Paths {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// String renders the path in unabbreviated syntax.
+func (e *Path) String() string {
+	var b strings.Builder
+	switch {
+	case e.Filter != nil:
+		b.WriteString(e.Filter.String())
+		for _, p := range e.FPreds {
+			b.WriteString("[")
+			b.WriteString(p.String())
+			b.WriteString("]")
+		}
+		if len(e.Steps) > 0 {
+			b.WriteString("/")
+		}
+	case e.Abs:
+		b.WriteString("/")
+	}
+	for i, s := range e.Steps {
+		if i > 0 {
+			b.WriteString("/")
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}

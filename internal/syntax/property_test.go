@@ -1,0 +1,178 @@
+package syntax
+
+// Property tests on the compilation pipeline, driven by a local random
+// query generator (mirroring workload.RandomQuery, which cannot be imported
+// here without a cycle).
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randQuery(rng *rand.Rand, depth int) string {
+	axes := []string{"self", "child", "parent", "descendant", "ancestor",
+		"following", "preceding", "following-sibling", "preceding-sibling"}
+	tests := []string{"a", "b", "*", "node()"}
+	var step func(d int) string
+	var pred func(d int) string
+	step = func(d int) string {
+		s := axes[rng.Intn(len(axes))] + "::" + tests[rng.Intn(len(tests))]
+		if d > 0 && rng.Intn(3) == 0 {
+			s += "[" + pred(d-1) + "]"
+		}
+		return s
+	}
+	pred = func(d int) string {
+		switch rng.Intn(6) {
+		case 0:
+			return step(d)
+		case 1:
+			return fmt.Sprintf("position() = %d", 1+rng.Intn(3))
+		case 2:
+			return fmt.Sprintf("%s = %d", step(d), rng.Intn(50))
+		case 3:
+			if d > 0 {
+				return "not(" + pred(d-1) + ")"
+			}
+			return "true()"
+		case 4:
+			if d > 0 {
+				return pred(d-1) + " and " + pred(d-1)
+			}
+			return "last() > 1"
+		default:
+			return fmt.Sprintf("count(%s) != %d", step(d), rng.Intn(3))
+		}
+	}
+	n := 1 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = step(2)
+	}
+	q := strings.Join(parts, "/")
+	if rng.Intn(2) == 0 {
+		q = "/" + q
+	}
+	return q
+}
+
+// TestQuickCompileRenderStable: Compile(q).String() is a fixed point —
+// rendering a normalized tree and re-compiling yields the same rendering
+// (normalization is idempotent and printing is faithful).
+func TestQuickCompileRenderStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randQuery(rng, 2)
+		q1, err := Compile(src)
+		if err != nil {
+			t.Logf("generator produced invalid query %q: %v", src, err)
+			return false
+		}
+		r1 := q1.Root.String()
+		q2, err := Compile(r1)
+		if err != nil {
+			t.Logf("rendered form %q does not re-parse: %v", r1, err)
+			return false
+		}
+		return q2.Root.String() == r1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRelevMonotone: Relev of any parent contains each child's Relev
+// intersected with what can escape it (paths absorb cp/cs of predicates;
+// everything else unions). We assert the weaker invariant that holds by
+// construction: a node's Relev never contains cp/cs unless some descendant
+// introduces position()/last() or a filter head does.
+func TestQuickRelevMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randQuery(rng, 2)
+		q, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		hasPosFn := strings.Contains(src, "position()") || strings.Contains(src, "last()")
+		for _, e := range q.Nodes {
+			if q.Relev[e.ID()].NeedsPosition() && !hasPosFn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIDsDense: after compilation, node IDs are a dense preorder
+// numbering and every node is reachable exactly once.
+func TestQuickIDsDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := Compile(randQuery(rng, 2))
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, q.Size())
+		var walk func(e Expr) bool
+		walk = func(e Expr) bool {
+			if e.ID() < 0 || e.ID() >= q.Size() || seen[e.ID()] {
+				return false
+			}
+			seen[e.ID()] = true
+			if q.Nodes[e.ID()] != e {
+				return false
+			}
+			for _, c := range e.children() {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		if !walk(q.Root) {
+			return false
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFragmentMonotone: adding a count() predicate to any query ejects
+// it from the Extended Wadler fragment.
+func TestQuickFragmentMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := randQuery(rng, 1)
+		q1, err := Compile(base)
+		if err != nil {
+			return false
+		}
+		if q1.Root.ResultType() != TypeNodeSet {
+			return true
+		}
+		q2, err := Compile(base + "[count(child::a) > 99]")
+		if err != nil {
+			// The base may not end in a step that accepts predicates in
+			// this grammar position; that is fine.
+			return true
+		}
+		return q2.Fragment == FragmentFullXPath
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,371 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/axes"
+)
+
+func compile(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBasicShapes(t *testing.T) {
+	cases := map[string]string{
+		// Abbreviations expand to unabbreviated form.
+		`//b`:      `/descendant-or-self::node()/child::b`,
+		`a/b`:      `child::a/child::b`,
+		`.`:        `self::node()`,
+		`..`:       `parent::node()`,
+		`a//b`:     `child::a/descendant-or-self::node()/child::b`,
+		`/`:        `/`,
+		`./a`:      `self::node()/child::a`,
+		`a[2]`:     `child::a[(position() = 2)]`,
+		`a[b]`:     `child::a[boolean(child::b)]`,
+		`a[b="x"]`: `child::a[(child::b = "x")]`,
+		// Operators and precedence.
+		`1+2*3`:         `(1 + (2 * 3))`,
+		`(1+2)*3`:       `((1 + 2) * 3)`,
+		`1<2 or 2>=3`:   `((1 < 2) or (2 >= 3))`,
+		`-a`:            `-(child::a)`,
+		`2 div 4 mod 3`: `((2 div 4) mod 3)`,
+		// Unions.
+		`a|b|c`: `child::a | child::b | child::c`,
+		// Functions.
+		`count(//a)`: `count(/descendant-or-self::node()/child::a)`,
+		`not(a)`:     `not(boolean(child::a))`,
+	}
+	for src, want := range cases {
+		q := compile(t, src)
+		if got := q.Root.String(); got != want {
+			t.Errorf("Compile(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// The normalized rendering must re-parse to the same rendering.
+	queries := []string{
+		`//b/c[position() != last()][. = 100]`,
+		`/descendant::*[position() > last()*0.5 or self::* = 100]`,
+		`id("a b")/child::c | //d[preceding::c]`,
+		`count(//a[b][c]) + sum(//d) * 2`,
+		`(//a | //b)[3]/child::*[not(self::c)]`,
+		`substring(concat(string(//a), "x"), 2, 3)`,
+		`boolean(//a[.//b = //c])`,
+	}
+	for _, src := range queries {
+		q1 := compile(t, src)
+		q2 := compile(t, q1.Root.String())
+		if q1.Root.String() != q2.Root.String() {
+			t.Errorf("round trip diverged:\n  1: %s\n  2: %s", q1.Root, q2.Root)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `/a/`, `a[`, `a]`, `a[]`, `)`, `a b`, `1 +`, `"unterminated`,
+		`@href`, `attribute::x`, `namespace::x`, `text()`, `comment()`,
+		`processing-instruction()`, `$unbound`, `unknown-fn()`, `a:b`,
+		`count()`, `count(1)`, `position(1)`, `substring("x")`, `!`,
+		`a!b`, `id()`, `concat("a")`, `translate("a","b")`, `..b`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestVariableBinding(t *testing.T) {
+	vars := map[string]VarBinding{
+		"n": NumberVar(3),
+		"s": StringVar("abc"),
+		"b": BoolVar(true),
+	}
+	q, err := CompileWithVars(`//a[position() = $n][$b]/child::*[. = $s]`, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(q.Root.String(), "$") {
+		t.Errorf("variables not substituted: %s", q.Root)
+	}
+	if _, err := Compile(`//a[$x]`); err == nil {
+		t.Error("unbound variable must fail")
+	}
+}
+
+func TestNormalizeIDRewriting(t *testing.T) {
+	// id(nset) becomes a path with an id-axis step (§4).
+	q := compile(t, `id(//a)`)
+	p, ok := q.Root.(*Path)
+	if !ok {
+		t.Fatalf("id(//a) should normalize to a path, got %T", q.Root)
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if last.Axis != axes.ID {
+		t.Errorf("last step axis = %v, want id", last.Axis)
+	}
+	// Nested id calls chain.
+	q2 := compile(t, `id(id(//a))`)
+	p2 := q2.Root.(*Path)
+	n := 0
+	for _, s := range p2.Steps {
+		if s.Axis == axes.ID {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("id(id(π)) should have 2 id steps, got %d", n)
+	}
+	// id(string) stays a call (Restriction 3 shape).
+	q3 := compile(t, `id("x")`)
+	if _, ok := q3.Root.(*Call); !ok {
+		t.Errorf("id(str) should stay a call, got %T", q3.Root)
+	}
+}
+
+func TestNormalizeUnionDistribution(t *testing.T) {
+	q := compile(t, `boolean(//a | //b)`)
+	if got := q.Root.String(); got != `(boolean(/descendant-or-self::node()/child::a) or boolean(/descendant-or-self::node()/child::b))` {
+		t.Errorf("boolean(union) not distributed: %s", got)
+	}
+	q2 := compile(t, `(//a | //b) = 5`)
+	if b, ok := q2.Root.(*Binary); !ok || b.Op != OpOr {
+		t.Errorf("(union = scalar) not distributed: %s", q2.Root)
+	}
+	// nset RelOp bool becomes boolean(nset) RelOp bool.
+	q3 := compile(t, `//a = true()`)
+	b3 := q3.Root.(*Binary)
+	if c, ok := b3.L.(*Call); !ok || c.Fn != FnBoolean {
+		t.Errorf("nset=bool not rewritten: %s", q3.Root)
+	}
+}
+
+// TestExample3Relev reproduces Example 3: the Relev sets of the parse tree
+// of the §2.4 query.
+func TestExample3Relev(t *testing.T) {
+	q := compile(t, `/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]`)
+	find := func(pred func(Expr) bool) Expr {
+		for _, e := range q.Nodes {
+			if pred(e) {
+				return e
+			}
+		}
+		t.Fatal("node not found")
+		return nil
+	}
+	// N1 (the whole path) and the steps: {'cn'}.
+	if got := q.RelevOf(q.Root); got != CN {
+		t.Errorf("Relev(N1) = %v, want {cn}", got)
+	}
+	// N3: position() > last()*0.5 or self::* = 100 → {cn,cp,cs}.
+	n3 := find(func(e Expr) bool {
+		b, ok := e.(*Binary)
+		return ok && b.Op == OpOr
+	})
+	if got := q.RelevOf(n3); got != CN|CP|CS {
+		t.Errorf("Relev(N3) = %v, want {cn,cp,cs}", got)
+	}
+	// N4: position() > last()*0.5 → {cp,cs}.
+	n4 := find(func(e Expr) bool {
+		b, ok := e.(*Binary)
+		return ok && b.Op == OpGt
+	})
+	if got := q.RelevOf(n4); got != CP|CS {
+		t.Errorf("Relev(N4) = %v, want {cp,cs}", got)
+	}
+	// N5: self::* = 100 → {cn}.
+	n5 := find(func(e Expr) bool {
+		b, ok := e.(*Binary)
+		return ok && b.Op == OpEq
+	})
+	if got := q.RelevOf(n5); got != CN {
+		t.Errorf("Relev(N5) = %v, want {cn}", got)
+	}
+	// N6: position() → {cp};  N7: last()*0.5 → {cs};  N9: 100 → ∅.
+	n6 := find(func(e Expr) bool { c, ok := e.(*Call); return ok && c.Fn == FnPosition })
+	if got := q.RelevOf(n6); got != CP {
+		t.Errorf("Relev(position()) = %v, want {cp}", got)
+	}
+	n7 := find(func(e Expr) bool {
+		b, ok := e.(*Binary)
+		return ok && b.Op == OpMul
+	})
+	if got := q.RelevOf(n7); got != CS {
+		t.Errorf("Relev(last()*0.5) = %v, want {cs}", got)
+	}
+	n9 := find(func(e Expr) bool {
+		n, ok := e.(*NumberLit)
+		return ok && n.Val == 100
+	})
+	if got := q.RelevOf(n9); got != 0 {
+		t.Errorf("Relev(100) = %v, want ∅", got)
+	}
+}
+
+func TestRelevContextFunctions(t *testing.T) {
+	cases := map[string]Ctx{
+		`string()`:          CN,
+		`string(5)`:         0,
+		`normalize-space()`: CN,
+		`true()`:            0,
+		`"lit"`:             0,
+		`last()`:            CS,
+		`position()+last()`: CP | CS,
+		`count(//a)`:        CN, // paths carry {'cn'} even when absolute (§3.1)
+	}
+	for src, want := range cases {
+		q := compile(t, src)
+		if got := q.RelevOf(q.Root); got != want {
+			t.Errorf("Relev(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestFragmentClassification(t *testing.T) {
+	core := []string{
+		`/descendant::b[child::c]/child::d`,
+		`//a`, `a/b/c`, `//*[not(child::a) and descendant::b]`,
+		`/child::a[child::b or child::c]`,
+	}
+	wadler := []string{
+		`/descendant::*[position() > last()*0.5 or self::* = 100]`,
+		`//b[c = 100]`,
+		`//b[boolean(c)]/d[position() != last()]`,
+		`id("x")/child::a`,
+		`//a[. = "txt"]`,
+		`/child::a/descendant::*[boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)]`,
+	}
+	full := []string{
+		`//a[count(b) > 1]`,            // Restriction 2: count
+		`//a[sum(b) = 5]`,              // Restriction 2: sum
+		`//a[b = //c]`,                 // Restriction 2: nset RelOp nset
+		`//a[b = position()]`,          // Restriction 2: scalar depends on context
+		`//a[string() = "x"]`,          // Restriction 1: string()
+		`//a[string-length(.) > 2]`,    // Restriction 1 (and nset arg)
+		`id(string(//a))`,              // Restriction 1 inside id
+		`//a[name() = "a"]`,            // Restriction 1: name
+		`count(//a)`,                   // count anywhere
+		`//a[normalize-space() = "x"]`, // Restriction 1
+		`(//a)[2]`,                     // filter-headed path
+		`//a[id(string(.)) = "x"]`,     // id of context-dependent string
+	}
+	for _, src := range core {
+		if q := compile(t, src); q.Fragment != FragmentCoreXPath {
+			t.Errorf("%q classified %v, want core-xpath", src, q.Fragment)
+		}
+	}
+	for _, src := range wadler {
+		if q := compile(t, src); q.Fragment != FragmentExtendedWadler {
+			t.Errorf("%q classified %v, want extended-wadler", src, q.Fragment)
+		}
+	}
+	for _, src := range full {
+		if q := compile(t, src); q.Fragment != FragmentFullXPath {
+			t.Errorf("%q classified %v, want full-xpath", src, q.Fragment)
+		}
+	}
+}
+
+func TestBottomUpDetection(t *testing.T) {
+	// boolean(π) and π RelOp const are bottom-up nodes; innermost first.
+	q := compile(t, `//a[boolean(b[c = 100])]`)
+	if len(q.BottomUp) != 2 {
+		t.Fatalf("BottomUp = %v, want 2 nodes", q.BottomUp)
+	}
+	// Innermost (c = 100) must come first.
+	first := q.Node(q.BottomUp[0])
+	if b, ok := first.(*Binary); !ok || b.Op != OpEq {
+		t.Errorf("first bottom-up node = %s, want (c = 100)", first)
+	}
+	pi, op, scalar := q.BottomUpPath(q.BottomUp[0])
+	if pi == nil || op != OpEq || scalar == nil {
+		t.Errorf("BottomUpPath: %v %v %v", pi, op, scalar)
+	}
+	pi2, _, scalar2 := q.BottomUpPath(q.BottomUp[1])
+	if pi2 == nil || scalar2 != nil {
+		t.Errorf("outer boolean(π): %v %v", pi2, scalar2)
+	}
+	// Context-dependent scalar disqualifies.
+	q2 := compile(t, `//a[b = position()]`)
+	if len(q2.BottomUp) != 0 {
+		t.Errorf("π RelOp position() must not be bottom-up: %v", q2.BottomUp)
+	}
+	// Filter-headed paths disqualify.
+	q3 := compile(t, `//a[boolean((//b)[2])]`)
+	if len(q3.BottomUp) != 0 {
+		t.Errorf("filter-headed π must not be bottom-up: %v", q3.BottomUp)
+	}
+	// Scalar side may be a context-independent nset like id("k").
+	q4 := compile(t, `//a[b = id("k")]`)
+	if len(q4.BottomUp) != 1 {
+		t.Errorf("π RelOp id(const) should be bottom-up: %v", q4.BottomUp)
+	}
+}
+
+func TestQuerySizeAndIDs(t *testing.T) {
+	q := compile(t, `//a[b]/c`)
+	if q.Size() != len(q.Nodes) {
+		t.Error("Size mismatch")
+	}
+	for i, e := range q.Nodes {
+		if e.ID() != i {
+			t.Errorf("node %d has ID %d", i, e.ID())
+		}
+	}
+	if q.Size() < 5 {
+		t.Errorf("surprisingly small parse tree: %d", q.Size())
+	}
+}
+
+func TestLexerDisambiguation(t *testing.T) {
+	// '*' as operator vs wildcard; operator names vs element names.
+	ok := []string{
+		`2*3`, `a/*`, `*/*`, `a[* > 2]`, `div/div`, `mod/child::mod`,
+		`and/or`, `a and b`, `//and`, `a[and]`, `. * 2`, `last() * 0.5`,
+	}
+	for _, src := range ok {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+		}
+	}
+	// div as element then operator: `div div div` = (div) div (div).
+	q := compile(t, `div div div`)
+	if b, ok := q.Root.(*Binary); !ok || b.Op != OpDiv {
+		t.Errorf("div div div parsed as %s", q.Root)
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	cases := map[string]float64{
+		`5`: 5, `5.5`: 5.5, `.5`: 0.5, `5.`: 5, `0.000`: 0,
+	}
+	for src, want := range cases {
+		q := compile(t, src)
+		n, ok := q.Root.(*NumberLit)
+		if !ok || n.Val != want {
+			t.Errorf("Compile(%q) = %v, want %v", src, q.Root, want)
+		}
+	}
+}
+
+func TestStringLiteralQuotes(t *testing.T) {
+	q := compile(t, `concat('a"b', "c'd")`)
+	c := q.Root.(*Call)
+	if c.Args[0].(*StringLit).Val != `a"b` || c.Args[1].(*StringLit).Val != `c'd` {
+		t.Errorf("quote handling: %s", q.Root)
+	}
+	// Rendering picks a non-conflicting quote and re-parses.
+	q2 := compile(t, q.Root.String())
+	if q2.Root.String() != q.Root.String() {
+		t.Errorf("quote round trip: %s vs %s", q.Root, q2.Root)
+	}
+}

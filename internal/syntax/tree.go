@@ -1,0 +1,105 @@
+package syntax
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// kindLabel returns a short human-readable label for a parse-tree node, in
+// the style of the paper's Figure 3/6 node annotations.
+func kindLabel(e Expr) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return e.String()
+	case *StringLit:
+		return e.String()
+	case *Binary:
+		return e.Op.String()
+	case *Negate:
+		return "unary -"
+	case *Call:
+		return e.Fn.String() + "()"
+	case *Union:
+		return "|"
+	case *Path:
+		switch {
+		case e.Filter != nil:
+			return "path (filter head)"
+		case e.Abs:
+			return "path (absolute)"
+		default:
+			return "path (relative)"
+		}
+	case *Step:
+		if e.Axis.String() == "id" {
+			return "step id"
+		}
+		return "step " + e.Axis.String() + "::" + e.Test.String()
+	}
+	return "?"
+}
+
+// TreeString renders the normalized parse tree T as an indented outline
+// with the node IDs and Relev(N) annotations — the textual counterpart of
+// the paper's Figure 3 and Figure 6 parse-tree drawings.
+func (q *Query) TreeString() string {
+	var b strings.Builder
+	var walk func(e Expr, depth int)
+	walk = func(e Expr, depth int) {
+		fmt.Fprintf(&b, "%sN%-3d %-28s Relev=%-12s %s\n",
+			strings.Repeat("  ", depth), e.ID(), kindLabel(e),
+			q.Relev[e.ID()].String(), abbreviate(e.String(), 60))
+		for _, c := range e.children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(q.Root, 0)
+	return b.String()
+}
+
+// WriteDot emits the parse tree in Graphviz DOT format, one node per
+// parse-tree node labeled with its ID, kind and Relev set. Rendering it
+// reproduces the shape of the paper's Figure 3 (the §2.4 query) and
+// Figure 6 (the Example 9 query).
+func (q *Query) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph parsetree {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`); err != nil {
+		return err
+	}
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		label := fmt.Sprintf("N%d\\n%s\\nRelev=%s",
+			e.ID(), escapeDot(kindLabel(e)), q.Relev[e.ID()])
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", e.ID(), label); err != nil {
+			return err
+		}
+		for _, c := range e.children() {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", e.ID(), c.ID()); err != nil {
+				return err
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(q.Root); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func abbreviate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func escapeDot(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(s)
+}

@@ -1,0 +1,90 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure6TreeShape checks the parse tree of the Example 9 query against
+// the paper's Figure 6: the node kinds and their Relev annotations.
+func TestFigure6TreeShape(t *testing.T) {
+	q, err := Compile(`/child::a/descendant::*[boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.TreeString()
+	for _, want := range []string{
+		"path (absolute)",
+		"step child::a",
+		"step descendant::*",
+		"boolean()",
+		"step following::d",
+		"and",
+		"position()",
+		"last()",
+		"step preceding-sibling::*",
+		"step preceding::*",
+		"Relev={cn,cp,cs}", // the 'and' node N5 of Figure 6
+		"Relev={cp,cs}",    // position() != last()
+		"Relev=∅",          // the constant 100
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Figure 6 has 13 named nodes plus the implicit unary ones; our
+	// normalized tree must have one line per parse node.
+	if got := strings.Count(out, "N"); got < q.Size() {
+		t.Errorf("tree shows %d nodes, query has %d", got, q.Size())
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	q, err := Compile(`//a[b = 1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := q.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph parsetree {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT digraph:\n%s", out)
+	}
+	// One declared node and one edge per parent-child pair.
+	if got := strings.Count(out, "->"); got != q.Size()-1 {
+		t.Errorf("%d edges, want %d", got, q.Size()-1)
+	}
+	for i := 0; i < q.Size(); i++ {
+		if !strings.Contains(out, "n"+itoa(i)+" [label=") {
+			t.Errorf("node n%d not declared", i)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}
+
+func TestTreeStringAbbreviates(t *testing.T) {
+	long := `//a[` + strings.Repeat(`b/`, 40) + `c]`
+	q, err := Compile(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.TreeString()
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 250 {
+			t.Errorf("line too long (%d bytes): %s", len(line), line[:80])
+		}
+	}
+}

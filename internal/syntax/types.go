@@ -1,0 +1,390 @@
+// Package syntax implements XPath 1.0 syntax processing for the paper's
+// algorithms: a lexer and parser for the full XPath 1.0 expression grammar
+// (abbreviated and unabbreviated forms), a normalization pass that makes all
+// type conversions explicit as Section 2.2 assumes, the relevant-context
+// analysis Relev(N) of Section 3.1, and the fragment classifiers for
+// Core XPath (Definition 12) and the Extended Wadler Fragment (Section 4,
+// Restrictions 1–3).
+//
+// Every normalized expression node carries a dense ID; the evaluation
+// engines index their context-value tables table(N) by it, mirroring the
+// paper's per-parse-tree-node tables.
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/axes"
+)
+
+// Type is the static type of an XPath 1.0 expression: one of the four
+// expression types of Section 2.2.
+type Type int
+
+// The four XPath 1.0 expression types.
+const (
+	TypeNodeSet Type = iota
+	TypeNumber
+	TypeString
+	TypeBoolean
+)
+
+// String returns the paper's abbreviation for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNodeSet:
+		return "nset"
+	case TypeNumber:
+		return "num"
+	case TypeString:
+		return "str"
+	case TypeBoolean:
+		return "bool"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Expr is a node of the normalized parse tree T. Engines dispatch on the
+// concrete type; ID gives the node's index into per-query table arrays.
+type Expr interface {
+	// ID returns the node's dense parse-tree identifier (assigned by
+	// Compile; -1 before that).
+	ID() int
+	// ResultType returns the expression's static XPath type.
+	ResultType() Type
+	// String renders the subexpression in unabbreviated XPath syntax.
+	String() string
+
+	setID(int)
+	children() []Expr
+}
+
+// base carries the bookkeeping shared by all expression kinds.
+type base struct {
+	id int
+}
+
+func (b *base) ID() int     { return b.id }
+func (b *base) setID(i int) { b.id = i }
+
+// NumberLit is a numeric constant (IEEE 754 double, as all XPath numbers).
+type NumberLit struct {
+	base
+	Val float64
+}
+
+// ResultType implements Expr.
+func (*NumberLit) ResultType() Type   { return TypeNumber }
+func (e *NumberLit) children() []Expr { return nil }
+
+// StringLit is a string constant.
+type StringLit struct {
+	base
+	Val string
+}
+
+// ResultType implements Expr.
+func (*StringLit) ResultType() Type   { return TypeString }
+func (e *StringLit) children() []Expr { return nil }
+
+// BinOp enumerates the binary operators of XPath 1.0.
+type BinOp int
+
+// Binary operators, grouped: boolean connectives, equality, relational,
+// arithmetic.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var binOpNames = [...]string{
+	OpOr: "or", OpAnd: "and",
+	OpEq: "=", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "div", OpMod: "mod",
+}
+
+// String returns the operator's XPath spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsRelational reports whether the operator is one of the RelOps of
+// Figure 1 (=, !=, <, <=, >, >=).
+func (op BinOp) IsRelational() bool { return op >= OpEq && op <= OpGe }
+
+// IsEquality reports whether the operator is = or != (the EqOp cases of
+// Figure 1).
+func (op BinOp) IsEquality() bool { return op == OpEq || op == OpNeq }
+
+// IsArithmetic reports whether the operator is one of +, -, *, div, mod.
+func (op BinOp) IsArithmetic() bool { return op >= OpAdd }
+
+// Mirror returns the operator with swapped operands
+// (a op b  ⇔  b op.Mirror() a).
+func (op BinOp) Mirror() BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op
+}
+
+// Binary is the application of a binary operator. Relational operators
+// over node sets keep the existential semantics of Figure 1; they are not
+// decomposed further by normalization.
+type Binary struct {
+	base
+	Op   BinOp
+	L, R Expr
+}
+
+// ResultType implements Expr.
+func (e *Binary) ResultType() Type {
+	if e.Op.IsArithmetic() {
+		return TypeNumber
+	}
+	return TypeBoolean
+}
+func (e *Binary) children() []Expr { return []Expr{e.L, e.R} }
+
+// Negate is unary minus.
+type Negate struct {
+	base
+	E Expr
+}
+
+// ResultType implements Expr.
+func (*Negate) ResultType() Type   { return TypeNumber }
+func (e *Negate) children() []Expr { return []Expr{e.E} }
+
+// Func identifies an XPath 1.0 core-library function.
+type Func int
+
+// The XPath 1.0 core function library, minus the namespace functions the
+// paper excludes (§2.1). Last and Position are the context functions of
+// Definition 2; the rest implement the effective semantics function F of
+// Figure 1 and the string/number operations it omits for lack of space.
+const (
+	FnLast Func = iota
+	FnPosition
+	FnCount
+	FnID
+	FnLocalName
+	FnName
+	FnString
+	FnConcat
+	FnStartsWith
+	FnContains
+	FnSubstringBefore
+	FnSubstringAfter
+	FnSubstring
+	FnStringLength
+	FnNormalizeSpace
+	FnTranslate
+	FnBoolean
+	FnNot
+	FnTrue
+	FnFalse
+	FnLang
+	FnNumber
+	FnSum
+	FnFloor
+	FnCeiling
+	FnRound
+)
+
+var funcNames = [...]string{
+	FnLast: "last", FnPosition: "position", FnCount: "count", FnID: "id",
+	FnLocalName: "local-name", FnName: "name", FnString: "string",
+	FnConcat: "concat", FnStartsWith: "starts-with", FnContains: "contains",
+	FnSubstringBefore: "substring-before", FnSubstringAfter: "substring-after",
+	FnSubstring: "substring", FnStringLength: "string-length",
+	FnNormalizeSpace: "normalize-space", FnTranslate: "translate",
+	FnBoolean: "boolean", FnNot: "not", FnTrue: "true", FnFalse: "false",
+	FnLang: "lang", FnNumber: "number", FnSum: "sum", FnFloor: "floor",
+	FnCeiling: "ceiling", FnRound: "round",
+}
+
+// String returns the function's XPath name.
+func (f Func) String() string { return funcNames[f] }
+
+// FuncByName resolves an XPath function name; ok is false for unknown names.
+func FuncByName(name string) (Func, bool) {
+	for f, n := range funcNames {
+		if n == name {
+			return Func(f), true
+		}
+	}
+	return 0, false
+}
+
+// resultType returns the function's static result type.
+func (f Func) resultType() Type {
+	switch f {
+	case FnLast, FnPosition, FnCount, FnStringLength, FnNumber, FnSum,
+		FnFloor, FnCeiling, FnRound:
+		return TypeNumber
+	case FnID:
+		return TypeNodeSet
+	case FnLocalName, FnName, FnString, FnConcat, FnSubstringBefore,
+		FnSubstringAfter, FnSubstring, FnNormalizeSpace, FnTranslate:
+		return TypeString
+	case FnBoolean, FnNot, FnTrue, FnFalse, FnLang, FnStartsWith, FnContains:
+		return TypeBoolean
+	}
+	panic("syntax: resultType: unknown function " + f.String())
+}
+
+// Call is a core-library function call. After normalization, id() calls with
+// node-set arguments have been rewritten into id-axis location steps (§4),
+// so a surviving FnID call always has a string-typed argument.
+type Call struct {
+	base
+	Fn   Func
+	Args []Expr
+}
+
+// ResultType implements Expr.
+func (e *Call) ResultType() Type { return e.Fn.resultType() }
+func (e *Call) children() []Expr { return e.Args }
+
+// Union is the "|" combination of location paths (S↓[[π1 | π2]] of
+// Definition 2), flattened to n-ary form by normalization.
+type Union struct {
+	base
+	Paths []Expr // each of type nset
+}
+
+// ResultType implements Expr.
+func (*Union) ResultType() Type   { return TypeNodeSet }
+func (e *Union) children() []Expr { return e.Paths }
+
+// NodeTestKind classifies a node test t.
+type NodeTestKind int
+
+// Node test kinds: a literal tag name, the "*" wildcard (T(*) = dom), or
+// node() which additionally matches the document root.
+const (
+	TestName NodeTestKind = iota
+	TestStar
+	TestNode
+)
+
+// NodeTest is the node test of a location step.
+type NodeTest struct {
+	Kind NodeTestKind
+	Name string // tag name when Kind == TestName
+}
+
+// String returns the node test's XPath spelling.
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case TestName:
+		return t.Name
+	case TestStar:
+		return "*"
+	default:
+		return "node()"
+	}
+}
+
+// Step is one location step χ::t[e1]…[em]. A Step is itself an Expr (the
+// paper's parse tree gives each location step its own node, with
+// Relev = {cn}); its ID is what the engines key step tables on.
+type Step struct {
+	base
+	Axis  axes.Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+// ResultType implements Expr.
+func (*Step) ResultType() Type   { return TypeNodeSet }
+func (e *Step) children() []Expr { return e.Preds }
+
+// String renders the step in unabbreviated syntax.
+func (e *Step) String() string {
+	var b strings.Builder
+	if e.Axis == axes.ID {
+		b.WriteString("id") // the id-"axis" of §4 has no axis::test form
+	} else {
+		b.WriteString(e.Axis.String())
+		b.WriteString("::")
+		b.WriteString(e.Test.String())
+	}
+	for _, p := range e.Preds {
+		b.WriteString("[")
+		b.WriteString(p.String())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Path is a location path: an optional head (either the document root for
+// absolute paths, or a filter expression such as a parenthesized expression
+// or an id(string) call) followed by location steps.
+//
+// Exactly one of Abs/Filter may be set; when both are unset the path is
+// relative and starts at the context node.
+type Path struct {
+	base
+	Abs    bool
+	Filter Expr   // non-nil for FilterExpr-headed paths
+	FPreds []Expr // predicates applied to the filter result (document order)
+	Steps  []*Step
+}
+
+// ResultType implements Expr.
+func (*Path) ResultType() Type { return TypeNodeSet }
+func (e *Path) children() []Expr {
+	var out []Expr
+	if e.Filter != nil {
+		out = append(out, e.Filter)
+	}
+	out = append(out, e.FPreds...)
+	for _, s := range e.Steps {
+		out = append(out, s)
+	}
+	return out
+}
+
+// IsPureSteps reports whether the path consists of location steps only
+// (absolute or relative, no filter head) — the location-path shape the
+// bottom-up evaluation of Section 4 handles.
+func (e *Path) IsPureSteps() bool { return e.Filter == nil }
+
+// VarBinding is the value bound to an XPath variable. Per Section 2.2, each
+// variable is replaced by the constant value of the input binding at compile
+// time; bindings are scalar (node-set variables are outside the paper's
+// scope and are rejected by Compile).
+type VarBinding struct {
+	Type Type
+	Num  float64
+	Str  string
+	Bool bool
+}
+
+// NumberVar, StringVar and BoolVar build scalar variable bindings.
+func NumberVar(v float64) VarBinding { return VarBinding{Type: TypeNumber, Num: v} }
+
+// StringVar builds a string-typed variable binding.
+func StringVar(s string) VarBinding { return VarBinding{Type: TypeString, Str: s} }
+
+// BoolVar builds a boolean-typed variable binding.
+func BoolVar(b bool) VarBinding { return VarBinding{Type: TypeBoolean, Bool: b} }

@@ -1,0 +1,257 @@
+// Package topdown implements the semantics function E↓ of Definition 2 —
+// the "top-down" polynomial evaluation algorithm of the predecessor paper
+// [11] that MINCONTEXT improves on. Expressions are evaluated *vectorized*
+// over a list of contexts; location paths are evaluated set-at-a-time via
+// the auxiliary function S↓, which materializes for every location step the
+// pair relation
+//
+//	S = {〈x, y〉 | x ∈ ∪ᵢ Xᵢ, x χ y, y ∈ T(t)}
+//
+// and filters it through the step's predicates using the context triples
+// 〈yⱼ, idxχ(yⱼ, Sⱼ), |Sⱼ|〉. Its bounds are O(|D|⁵·|Q|²) time and
+// O(|D|⁴·|Q|²) space (§1).
+package topdown
+
+import (
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// Engine is the E↓ evaluator. The zero value is ready to use.
+type Engine struct{}
+
+// New returns a top-down E↓ engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine.
+func (*Engine) Name() string { return "topdown" }
+
+// Evaluate implements engine.Engine.
+func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+	ev := &evaluator{doc: doc}
+	rs := ev.evalList(q.Root, []engine.Context{ctx})
+	return rs[0], ev.st, nil
+}
+
+type evaluator struct {
+	doc *xmltree.Document
+	st  engine.Stats
+}
+
+// evalList is E↓: it maps a list of contexts to the list of results of the
+// expression, one per context (Definition 2).
+func (ev *evaluator) evalList(e syntax.Expr, ctxs []engine.Context) []values.Value {
+	ev.st.ContextsEvaluated += int64(len(ctxs))
+	ev.st.TableCells += int64(len(ctxs))
+	out := make([]values.Value, len(ctxs))
+	switch e := e.(type) {
+	case *syntax.NumberLit:
+		for i := range out {
+			out[i] = values.Number(e.Val)
+		}
+	case *syntax.StringLit:
+		for i := range out {
+			out[i] = values.String(e.Val)
+		}
+	case *syntax.Negate:
+		args := ev.evalList(e.E, ctxs)
+		for i := range out {
+			out[i] = values.Number(-values.ToNumber(args[i]))
+		}
+	case *syntax.Binary:
+		// Op〈〉: vectorized application of F[[Op]].
+		ls := ev.evalList(e.L, ctxs)
+		rs := ev.evalList(e.R, ctxs)
+		for i := range out {
+			switch {
+			case e.Op == syntax.OpOr:
+				out[i] = values.Boolean(values.ToBool(ls[i]) || values.ToBool(rs[i]))
+			case e.Op == syntax.OpAnd:
+				out[i] = values.Boolean(values.ToBool(ls[i]) && values.ToBool(rs[i]))
+			case e.Op.IsRelational():
+				out[i] = values.Boolean(values.Compare(e.Op, ls[i], rs[i]))
+			default:
+				out[i] = values.Number(values.Arith(e.Op,
+					values.ToNumber(ls[i]), values.ToNumber(rs[i])))
+			}
+		}
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnPosition:
+			// E↓[[position()]](…〈xl, kl, nl〉) = 〈k1, …, kl〉.
+			for i, c := range ctxs {
+				out[i] = values.Number(float64(c.Pos))
+			}
+			return out
+		case syntax.FnLast:
+			// E↓[[last()]](…〈xl, kl, nl〉) = 〈n1, …, nl〉.
+			for i, c := range ctxs {
+				out[i] = values.Number(float64(c.Size))
+			}
+			return out
+		}
+		args := make([][]values.Value, len(e.Args))
+		for j, a := range e.Args {
+			args[j] = ev.evalList(a, ctxs)
+		}
+		for i, c := range ctxs {
+			row := make([]values.Value, len(e.Args))
+			for j := range e.Args {
+				row[j] = args[j][i]
+			}
+			v, err := values.Call(e.Fn, row, values.CallEnv{Doc: ev.doc, Node: c.Node})
+			if err != nil {
+				panic(err) // unreachable: signature checked at compile time
+			}
+			out[i] = v
+		}
+	case *syntax.Union:
+		// S↓[[π1 | π2]] = S↓[[π1]] ∪〈〉 S↓[[π2]].
+		sets := make([]*xmltree.Set, len(ctxs))
+		for i := range sets {
+			sets[i] = xmltree.NewSet(ev.doc)
+		}
+		for _, p := range e.Paths {
+			part := ev.evalList(p, ctxs)
+			for i := range sets {
+				sets[i].UnionWith(part[i].Set)
+			}
+		}
+		for i := range out {
+			out[i] = values.NodeSet(sets[i])
+		}
+	case *syntax.Path:
+		// E↓[[π]](〈x1,…〉,…) = S↓[[π]]({x1}, …, {xl}).
+		xs := ev.pathStarts(e, ctxs)
+		rs := ev.evalSteps(e.Steps, xs)
+		for i := range out {
+			out[i] = values.NodeSet(rs[i])
+		}
+	default:
+		panic("topdown: evalList: unhandled expression")
+	}
+	return out
+}
+
+// pathStarts builds the input node-set list (X1, …, Xk) of S↓ for a path:
+// singleton context nodes for relative paths, {root} for absolute paths
+// (S↓[[/π]]), and the filtered head value for filter-headed paths.
+func (ev *evaluator) pathStarts(p *syntax.Path, ctxs []engine.Context) []*xmltree.Set {
+	xs := make([]*xmltree.Set, len(ctxs))
+	switch {
+	case p.Abs:
+		root := xmltree.Singleton(ev.doc.Root())
+		for i := range xs {
+			xs[i] = root
+		}
+	case p.Filter != nil:
+		heads := ev.evalList(p.Filter, ctxs)
+		for i := range xs {
+			nodes := heads[i].Set.Nodes()
+			for _, pred := range p.FPreds {
+				nodes = ev.filterList(pred, nodes)
+			}
+			xs[i] = xmltree.SetFromNodes(ev.doc, nodes)
+		}
+	default:
+		for i, c := range ctxs {
+			xs[i] = xmltree.Singleton(c.Node)
+		}
+	}
+	return xs
+}
+
+// evalSteps is S↓ for a chain of location steps: it threads the node-set
+// list through each step (S↓[[π1/π2]] = S↓[[π2]] ∘ S↓[[π1]]).
+func (ev *evaluator) evalSteps(steps []*syntax.Step, xs []*xmltree.Set) []*xmltree.Set {
+	for _, s := range steps {
+		xs = ev.evalStep(s, xs)
+	}
+	return xs
+}
+
+// evalStep is S↓[[χ::t[e1]…[em]]](X1, …, Xk): it materializes the pair
+// relation S, filters it through each predicate with vectorized context
+// lists, and projects the per-input results Rᵢ.
+func (ev *evaluator) evalStep(step *syntax.Step, xs []*xmltree.Set) []*xmltree.Set {
+	// ∪ᵢ Xᵢ, deduplicated — the source column of S.
+	union := xmltree.NewSet(ev.doc)
+	for _, x := range xs {
+		union.UnionWith(x)
+	}
+	ev.st.AxisCalls++
+
+	// S as adjacency: per source node x the ordered candidate list
+	// Sx = {y | x χ y, y ∈ T(t)} in <doc,χ order.
+	type row struct {
+		x     *xmltree.Node
+		cands []*xmltree.Node
+	}
+	var rows []row
+	union.ForEach(func(x *xmltree.Node) {
+		cands := engine.Candidates(step.Axis, step.Test, x, nil)
+		ev.st.TableCells += int64(len(cands))
+		rows = append(rows, row{x: x, cands: cands})
+	})
+
+	// Predicate filtering, in ascending order, with vectorized E↓ calls:
+	// one context per pair 〈x, y〉 of S.
+	for _, pred := range step.Preds {
+		var ctxs []engine.Context
+		for _, r := range rows {
+			size := len(r.cands)
+			for j, y := range r.cands {
+				ctxs = append(ctxs, engine.Context{Node: y, Pos: j + 1, Size: size})
+			}
+		}
+		rs := ev.evalList(pred, ctxs)
+		k := 0
+		for ri := range rows {
+			kept := rows[ri].cands[:0]
+			for _, y := range rows[ri].cands {
+				if values.ToBool(rs[k]) {
+					kept = append(kept, y)
+				}
+				k++
+			}
+			rows[ri].cands = kept
+		}
+	}
+
+	// Rᵢ = {y | 〈x, y〉 ∈ S, x ∈ Xᵢ}.
+	perSource := make(map[*xmltree.Node][]*xmltree.Node, len(rows))
+	for _, r := range rows {
+		perSource[r.x] = r.cands
+	}
+	out := make([]*xmltree.Set, len(xs))
+	for i, x := range xs {
+		ri := xmltree.NewSet(ev.doc)
+		x.ForEach(func(n *xmltree.Node) {
+			for _, y := range perSource[n] {
+				ri.Add(y)
+			}
+		})
+		out[i] = ri
+	}
+	return out
+}
+
+// filterList applies one predicate to a node list with document-order
+// positions (used for filter-expression predicates).
+func (ev *evaluator) filterList(pred syntax.Expr, nodes []*xmltree.Node) []*xmltree.Node {
+	size := len(nodes)
+	ctxs := make([]engine.Context, size)
+	for i, n := range nodes {
+		ctxs[i] = engine.Context{Node: n, Pos: i + 1, Size: size}
+	}
+	rs := ev.evalList(pred, ctxs)
+	out := nodes[:0]
+	for i, n := range nodes {
+		if values.ToBool(rs[i]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package topdown
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func eval(t *testing.T, doc *xmltree.Document, src string, ctx engine.Context) (values.Value, engine.Stats) {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, st, err := New().Evaluate(q, doc, ctx)
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	return v, st
+}
+
+// TestVectorizedContexts: E↓ evaluates each predicate once per S-pair, not
+// once per (pair × subexpression recomputation) — the polynomial property.
+func TestVectorizedContexts(t *testing.T) {
+	doc := workload.Doubling()
+	// The doubling query that kills naive engines is linear here.
+	var prev int64
+	for i := 2; i <= 8; i++ {
+		_, st := eval(t, doc, workload.DoublingQuery(i), engine.RootContext(doc))
+		if i > 2 {
+			growth := st.ContextsEvaluated - prev
+			if growth > 200 {
+				t.Errorf("step %d: work grew by %d, want small constant (polynomial)", i, growth)
+			}
+		}
+		prev = st.ContextsEvaluated
+	}
+}
+
+// TestPositionSemantics: positions are per previous context node and
+// node-test filtered (Definition 2's idxχ over Sj).
+func TestPositionSemantics(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b/><c/><b/><c/><b/></a>`)
+	v, _ := eval(t, doc, `/child::a/child::b[position() = 2]`, engine.RootContext(doc))
+	if v.Set.Len() != 1 || v.Set.First().Pre() != 4 {
+		t.Errorf("b[2] = %s, want the second b (pre 4)", v.Set)
+	}
+	// Reverse axis: position counts in reverse document order.
+	last := doc.Node(5) // the third b
+	v2, _ := eval(t, doc, `preceding-sibling::b[1]`, engine.Context{Node: last, Pos: 1, Size: 1})
+	if v2.Set.Len() != 1 || v2.Set.First().Pre() != 4 {
+		t.Errorf("preceding-sibling::b[1] = %s, want nearest b", v2.Set)
+	}
+}
+
+// TestSuccessivePredicates: predicates apply left to right with positions
+// recomputed after each filter.
+func TestSuccessivePredicates(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b x="1"/><c/><b x="2"/><b x="3"/></a>`)
+	// [position() != 1][position() != 1] drops the first two b's.
+	v, _ := eval(t, doc, `/child::a/child::b[position() != 1][position() != 1]`, engine.RootContext(doc))
+	if v.Set.Len() != 1 {
+		t.Fatalf("got %d nodes, want 1", v.Set.Len())
+	}
+	if attr, _ := v.Set.First().Attr("x"); attr != "3" {
+		t.Errorf("kept b@x=%s, want 3", attr)
+	}
+}
+
+// TestAbsoluteResetsContext: S↓[[/π]] ignores the incoming node sets.
+func TestAbsoluteResetsContext(t *testing.T) {
+	doc := workload.Figure2()
+	deep := doc.ByID("24")
+	v, _ := eval(t, doc, `/child::a`, engine.Context{Node: deep, Pos: 1, Size: 1})
+	if v.Set.Len() != 1 || v.Set.First() != doc.ByID("10") {
+		t.Errorf("/child::a from deep context = %s", v.Set)
+	}
+}
+
+// TestUnionVectorized: S↓[[π1 | π2]] = S↓[[π1]] ∪〈〉 S↓[[π2]].
+func TestUnionVectorized(t *testing.T) {
+	doc := workload.Figure2()
+	v, _ := eval(t, doc, `child::c | child::d`, engine.Context{Node: doc.ByID("11"), Pos: 1, Size: 1})
+	if got := v.Set.String(); got != "{x12, x13, x14}" {
+		t.Errorf("union = %s", got)
+	}
+}
+
+// TestTableCellAccounting: cells grow with the pair relation, giving the
+// E↓ space profile the E7 experiment compares against.
+func TestTableCellAccounting(t *testing.T) {
+	small := workload.Scaled(30)
+	big := workload.Scaled(120)
+	src := workload.PositionHeavy()
+	_, stSmall := eval(t, small, src, engine.RootContext(small))
+	_, stBig := eval(t, big, src, engine.RootContext(big))
+	if stBig.TableCells <= stSmall.TableCells {
+		t.Errorf("cells did not grow with |D|: %d vs %d", stSmall.TableCells, stBig.TableCells)
+	}
+}
+
+// TestFilterHeadPaths: FilterExpr-headed paths ((π)[k]/steps, id(s)/steps)
+// through the vectorized evaluator.
+func TestFilterHeadPaths(t *testing.T) {
+	doc := workload.Figure2()
+	cases := map[string]string{
+		`(//c)[2]/following-sibling::*`: "{x14}",
+		`id("11")/child::d`:             "{x14}",
+		`(//b)[last()]/child::*`:        "{x22, x23, x24}",
+	}
+	for src, want := range cases {
+		v, _ := eval(t, doc, src, engine.RootContext(doc))
+		if got := v.Set.String(); got != want {
+			t.Errorf("%q = %s, want %s", src, got, want)
+		}
+	}
+}
+
+// TestScalarRoots: non-path roots of every type.
+func TestScalarRoots(t *testing.T) {
+	doc := workload.Figure2()
+	if v, _ := eval(t, doc, `count(//d) * 10`, engine.RootContext(doc)); v.Num != 30 {
+		t.Errorf("count arithmetic: %v", v.Num)
+	}
+	if v, _ := eval(t, doc, `concat("n", "=", string(count(//b)))`, engine.RootContext(doc)); v.Str != "n=2" {
+		t.Errorf("concat: %q", v.Str)
+	}
+	if v, _ := eval(t, doc, `not(//zzz)`, engine.RootContext(doc)); !v.Bool {
+		t.Errorf("not: %v", v.Bool)
+	}
+}

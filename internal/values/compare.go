@@ -1,0 +1,173 @@
+package values
+
+import (
+	"math"
+
+	"repro/internal/syntax"
+	"repro/internal/xmltree"
+)
+
+// Compare implements the relational operators over all sixteen type
+// combinations: the RelOp/EqOp/GtOp rules of Figure 1, completed per the
+// XPath 1.0 REC §3.4 where the figure is schematic:
+//
+//   - node-set × node-set is existential over the string values; for the
+//     ordering operators the string values are compared as numbers (REC);
+//   - node-set × scalar is existential over the node-set's members
+//     (to_number(strval) against numbers, strval against strings);
+//   - node-set × boolean compares boolean(nset) with the boolean — this
+//     combination is normally rewritten away by normalization but is also
+//     handled here so engines can evaluate un-normalized trees;
+//   - scalar × scalar equality prefers boolean, then number, then string
+//     comparison; ordering always compares numbers.
+func Compare(op syntax.BinOp, a, b Value) bool {
+	if a.T == KindNodeSet || b.T == KindNodeSet {
+		return compareWithNodeSet(op, a, b)
+	}
+	if op.IsEquality() {
+		switch {
+		case a.T == KindBoolean || b.T == KindBoolean:
+			return applyCmpBool(op, ToBool(a), ToBool(b))
+		case a.T == KindNumber || b.T == KindNumber:
+			return applyCmpNum(op, ToNumber(a), ToNumber(b))
+		default:
+			return applyCmpStr(op, a.Str, b.Str)
+		}
+	}
+	// GtOp of Figure 1: both operands to numbers.
+	return applyCmpNum(op, ToNumber(a), ToNumber(b))
+}
+
+func compareWithNodeSet(op syntax.BinOp, a, b Value) bool {
+	switch {
+	case a.T == KindNodeSet && b.T == KindNodeSet:
+		// ∃ n1 ∈ S1, n2 ∈ S2 : strval(n1) RelOp strval(n2). For ordering
+		// operators the REC compares the numbers; doing so via min/max
+		// would not respect NaN, so stay with the existential loop —
+		// sets are O(|D|), so this is the O(|D|²) step the paper's
+		// Restriction 2 points at.
+		found := false
+		a.Set.ForEach(func(n1 *xmltree.Node) {
+			if found {
+				return
+			}
+			s1 := n1.StringValue()
+			b.Set.ForEach(func(n2 *xmltree.Node) {
+				if found {
+					return
+				}
+				if op.IsEquality() {
+					if applyCmpStr(op, s1, n2.StringValue()) {
+						found = true
+					}
+				} else if applyCmpNum(op, StringToNumber(s1), StringToNumber(n2.StringValue())) {
+					found = true
+				}
+			})
+		})
+		return found
+
+	case a.T == KindNodeSet:
+		return nodeSetVsScalar(op, a, b)
+	default:
+		return nodeSetVsScalar(op.Mirror(), b, a)
+	}
+}
+
+// nodeSetVsScalar evaluates S RelOp v with the node set on the left.
+func nodeSetVsScalar(op syntax.BinOp, s, v Value) bool {
+	switch v.T {
+	case KindBoolean:
+		// F[[RelOp : nset × bool]]: boolean(S) RelOp b.
+		return Compare(op, Boolean(ToBool(s)), v)
+	case KindNumber:
+		found := false
+		s.Set.ForEach(func(n *xmltree.Node) {
+			if !found && applyCmpNum(op, StringToNumber(n.StringValue()), v.Num) {
+				found = true
+			}
+		})
+		return found
+	default: // string
+		found := false
+		s.Set.ForEach(func(n *xmltree.Node) {
+			if found {
+				return
+			}
+			if op.IsEquality() {
+				if applyCmpStr(op, n.StringValue(), v.Str) {
+					found = true
+				}
+			} else if applyCmpNum(op, StringToNumber(n.StringValue()), StringToNumber(v.Str)) {
+				found = true
+			}
+		})
+		return found
+	}
+}
+
+func applyCmpNum(op syntax.BinOp, a, b float64) bool {
+	switch op {
+	case syntax.OpEq:
+		return a == b
+	case syntax.OpNeq:
+		// IEEE semantics: NaN != x is true for every x, including NaN.
+		return a != b
+	case syntax.OpLt:
+		return a < b
+	case syntax.OpLe:
+		return a <= b
+	case syntax.OpGt:
+		return a > b
+	case syntax.OpGe:
+		return a >= b
+	}
+	panic("values: applyCmpNum: not a relational operator")
+}
+
+func applyCmpStr(op syntax.BinOp, a, b string) bool {
+	switch op {
+	case syntax.OpEq:
+		return a == b
+	case syntax.OpNeq:
+		return a != b
+	}
+	panic("values: applyCmpStr: ordering operators compare numbers")
+}
+
+func applyCmpBool(op syntax.BinOp, a, b bool) bool {
+	switch op {
+	case syntax.OpEq:
+		return a == b
+	case syntax.OpNeq:
+		return a != b
+	}
+	// Ordering on booleans goes through numbers (GtOp rule of Figure 1).
+	return applyCmpNum(op, boolToNum(a), boolToNum(b))
+}
+
+func boolToNum(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Arith implements the ArithOp rule of Figure 1 over numbers, with XPath's
+// IEEE semantics: division by zero yields ±Infinity, mod follows the
+// truncated remainder of Java/ECMAScript (math.Mod).
+func Arith(op syntax.BinOp, a, b float64) float64 {
+	switch op {
+	case syntax.OpAdd:
+		return a + b
+	case syntax.OpSub:
+		return a - b
+	case syntax.OpMul:
+		return a * b
+	case syntax.OpDiv:
+		return a / b
+	case syntax.OpMod:
+		return math.Mod(a, b)
+	}
+	panic("values: Arith: not an arithmetic operator")
+}

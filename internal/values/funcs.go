@@ -1,0 +1,239 @@
+package values
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/syntax"
+	"repro/internal/xmltree"
+)
+
+// CallEnv is the context information a core-library call may consult: the
+// document (for id()) and the context node (for the zero-argument forms of
+// string(), number(), name(), … and for lang()). position() and last() are
+// not library calls in this implementation — they are context accessors
+// handled directly by the engines, as in Definition 2.
+type CallEnv struct {
+	Doc  *xmltree.Document
+	Node *xmltree.Node
+}
+
+// Call implements the effective semantics function F of Figure 1 for the
+// core-library functions, including the string/number operations Figure 1
+// omits "for lack of space". Arguments arrive already evaluated; implicit
+// conversions follow the REC.
+func Call(fn syntax.Func, args []Value, env CallEnv) (Value, error) {
+	arg := func(i int) Value {
+		if i < len(args) {
+			return args[i]
+		}
+		return Value{}
+	}
+	// contextDefault supplies the implicit current-node argument of the
+	// zero-argument function forms.
+	contextDefault := func() Value {
+		return NodeSet(xmltree.Singleton(env.Node))
+	}
+
+	switch fn {
+	case syntax.FnTrue:
+		return Boolean(true), nil
+	case syntax.FnFalse:
+		return Boolean(false), nil
+	case syntax.FnNot:
+		return Boolean(!ToBool(arg(0))), nil
+	case syntax.FnBoolean:
+		return Boolean(ToBool(arg(0))), nil
+
+	case syntax.FnNumber:
+		if len(args) == 0 {
+			return Number(ToNumber(contextDefault())), nil
+		}
+		return Number(ToNumber(arg(0))), nil
+	case syntax.FnString:
+		if len(args) == 0 {
+			return String(ToString(contextDefault())), nil
+		}
+		return String(ToString(arg(0))), nil
+
+	case syntax.FnCount:
+		return Number(float64(arg(0).Set.Len())), nil
+	case syntax.FnSum:
+		// F[[sum]](S) = Σ_{n∈S} to_number(strval(n)).
+		total := 0.0
+		arg(0).Set.ForEach(func(n *xmltree.Node) {
+			total += StringToNumber(n.StringValue())
+		})
+		return Number(total), nil
+
+	case syntax.FnID:
+		// F[[id : str → nset]]; the nset form was rewritten to id-axis
+		// steps by normalization, but accept it anyway for the benefit of
+		// engines evaluating un-normalized trees.
+		if arg(0).T == KindNodeSet {
+			out := xmltree.NewSet(env.Doc)
+			arg(0).Set.ForEach(func(n *xmltree.Node) {
+				out.UnionWith(env.Doc.DerefIDs(n.StringValue()))
+			})
+			return NodeSet(out), nil
+		}
+		return NodeSet(env.Doc.DerefIDs(ToString(arg(0)))), nil
+
+	case syntax.FnLocalName, syntax.FnName:
+		// No namespaces in the paper's data model: both return the label.
+		var n *xmltree.Node
+		if len(args) == 0 {
+			n = env.Node
+		} else {
+			n = arg(0).Set.First()
+		}
+		if n == nil || n.IsRoot() {
+			return String(""), nil
+		}
+		return String(n.Label()), nil
+
+	case syntax.FnConcat:
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteString(ToString(a))
+		}
+		return String(b.String()), nil
+
+	case syntax.FnStartsWith:
+		return Boolean(strings.HasPrefix(ToString(arg(0)), ToString(arg(1)))), nil
+	case syntax.FnContains:
+		return Boolean(strings.Contains(ToString(arg(0)), ToString(arg(1)))), nil
+
+	case syntax.FnSubstringBefore:
+		s, sep := ToString(arg(0)), ToString(arg(1))
+		if i := strings.Index(s, sep); i >= 0 && sep != "" {
+			return String(s[:i]), nil
+		}
+		return String(""), nil
+	case syntax.FnSubstringAfter:
+		s, sep := ToString(arg(0)), ToString(arg(1))
+		if i := strings.Index(s, sep); i >= 0 && sep != "" {
+			return String(s[i+len(sep):]), nil
+		}
+		return String(""), nil
+
+	case syntax.FnSubstring:
+		return String(substring(args)), nil
+
+	case syntax.FnStringLength:
+		s := ""
+		if len(args) == 0 {
+			s = ToString(contextDefault())
+		} else {
+			s = ToString(arg(0))
+		}
+		return Number(float64(len([]rune(s)))), nil
+
+	case syntax.FnNormalizeSpace:
+		s := ""
+		if len(args) == 0 {
+			s = ToString(contextDefault())
+		} else {
+			s = ToString(arg(0))
+		}
+		return String(strings.Join(strings.Fields(s), " ")), nil
+
+	case syntax.FnTranslate:
+		return String(translate(ToString(arg(0)), ToString(arg(1)), ToString(arg(2)))), nil
+
+	case syntax.FnLang:
+		return Boolean(lang(env.Node, ToString(arg(0)))), nil
+
+	case syntax.FnFloor:
+		return Number(math.Floor(ToNumber(arg(0)))), nil
+	case syntax.FnCeiling:
+		return Number(math.Ceil(ToNumber(arg(0)))), nil
+	case syntax.FnRound:
+		return Number(round(ToNumber(arg(0)))), nil
+	}
+	return Value{}, fmt.Errorf("values: unhandled function %s()", fn)
+}
+
+// substring implements the REC's substring() with its IEEE rounding rules:
+// substring("12345", 1.5, 2.6) = "234", substring("12345", 0 div 0) = "".
+// Positions are 1-based and counted in runes.
+func substring(args []Value) string {
+	runes := []rune(ToString(args[0]))
+	start := round(ToNumber(args[1]))
+	var end float64
+	if len(args) == 3 {
+		end = start + round(ToNumber(args[2]))
+	} else {
+		end = math.Inf(1)
+	}
+	if math.IsNaN(start) || math.IsNaN(end) {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range runes {
+		pos := float64(i + 1)
+		if pos >= start && pos < end {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// translate implements translate(s, from, to): characters of s occurring in
+// from are replaced by the corresponding character of to, or removed when
+// from is longer than to. The first occurrence in from wins.
+func translate(s, from, to string) string {
+	fromR, toR := []rune(from), []rune(to)
+	repl := make(map[rune]rune, len(fromR))
+	drop := make(map[rune]bool)
+	for i, r := range fromR {
+		if _, seen := repl[r]; seen || drop[r] {
+			continue
+		}
+		if i < len(toR) {
+			repl[r] = toR[i]
+		} else {
+			drop[r] = true
+		}
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if drop[r] {
+			continue
+		}
+		if rr, ok := repl[r]; ok {
+			b.WriteRune(rr)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// lang tests the xml:lang attribute of the nearest ancestor-or-self node
+// against the argument, case-insensitively, ignoring any suffix after '-'.
+func lang(node *xmltree.Node, want string) bool {
+	for n := node; n != nil; n = n.Parent() {
+		l, ok := n.Attr("xml:lang")
+		if !ok {
+			continue
+		}
+		l = strings.ToLower(l)
+		want := strings.ToLower(want)
+		return l == want || strings.HasPrefix(l, want+"-")
+	}
+	return false
+}
+
+// round implements round(): nearest integer, ties toward +∞; NaN and
+// infinities pass through; arguments in [-0.5, -0) round to negative zero.
+func round(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	if f < 0 && f >= -0.5 {
+		return math.Copysign(0, -1)
+	}
+	return math.Floor(f + 0.5)
+}

@@ -1,0 +1,202 @@
+// Package values implements the XPath 1.0 value system used by all engines:
+// the four expression types of Section 2.2 (number, string, boolean, node
+// set), the conversion functions to_string / to_number / boolean of the REC,
+// and the effective semantics function F of Figure 1 together with the
+// string and number core-library operations the figure omits for lack of
+// space.
+//
+// Two deliberate deviations from the letter of Figure 1 (both following the
+// XPath 1.0 REC, which the paper defers to via [18]) are documented at
+// Compare: the ordering operators <, <=, >, >= convert operands to numbers,
+// and equality between two non-node-set operands prefers boolean, then
+// number, then string comparison.
+package values
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Value is one XPath 1.0 value. Exactly the field selected by T is
+// meaningful; Set is non-nil iff T == syntax.TypeNodeSet.
+type Value struct {
+	T    Kind
+	Num  float64
+	Str  string
+	Bool bool
+	Set  *xmltree.Set
+}
+
+// Kind mirrors syntax.Type for the four value kinds; values keeps its own
+// copy to stay independent of the syntax package.
+type Kind int
+
+// Value kinds.
+const (
+	KindNodeSet Kind = iota
+	KindNumber
+	KindString
+	KindBoolean
+)
+
+// String names the kind the way the paper abbreviates it.
+func (k Kind) String() string {
+	switch k {
+	case KindNodeSet:
+		return "nset"
+	case KindNumber:
+		return "num"
+	case KindString:
+		return "str"
+	default:
+		return "bool"
+	}
+}
+
+// Number builds a number value.
+func Number(v float64) Value { return Value{T: KindNumber, Num: v} }
+
+// String builds a string value.
+func String(s string) Value { return Value{T: KindString, Str: s} }
+
+// Boolean builds a boolean value.
+func Boolean(b bool) Value { return Value{T: KindBoolean, Bool: b} }
+
+// NodeSet builds a node-set value.
+func NodeSet(s *xmltree.Set) Value { return Value{T: KindNodeSet, Set: s} }
+
+// ToNumber implements F[[number]] for every operand type (Figure 1):
+// strings via to_number, booleans as 1/0, node sets via their string value.
+func ToNumber(v Value) float64 {
+	switch v.T {
+	case KindNumber:
+		return v.Num
+	case KindString:
+		return StringToNumber(v.Str)
+	case KindBoolean:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	default:
+		return StringToNumber(ToString(v))
+	}
+}
+
+// ToString implements F[[string]] for every operand type (Figure 1): the
+// empty set yields "", otherwise the string value of the first node in
+// document order.
+func ToString(v Value) string {
+	switch v.T {
+	case KindString:
+		return v.Str
+	case KindNumber:
+		return NumberToString(v.Num)
+	case KindBoolean:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	default:
+		if first := v.Set.First(); first != nil {
+			return first.StringValue()
+		}
+		return ""
+	}
+}
+
+// ToBool implements F[[boolean]] for every operand type (Figure 1).
+func ToBool(v Value) bool {
+	switch v.T {
+	case KindBoolean:
+		return v.Bool
+	case KindNumber:
+		return v.Num != 0 && !math.IsNaN(v.Num)
+	case KindString:
+		return v.Str != ""
+	default:
+		return !v.Set.IsEmpty()
+	}
+}
+
+// NumberToString implements to_string : num → str per the REC: NaN,
+// Infinity, integers without a decimal point, other values in plain decimal
+// notation (never exponent form). Negative zero renders as "0".
+func NumberToString(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == 0:
+		return "0"
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// StringToNumber implements to_number : str → num per the REC grammar
+// (optional minus, Digits ('.' Digits?)? | '.' Digits, surrounded by
+// whitespace); anything else is NaN. Note that '+', exponents, "Infinity"
+// and "NaN" spellings are all invalid and yield NaN.
+func StringToNumber(s string) float64 {
+	s = strings.Trim(s, " \t\r\n")
+	if s == "" {
+		return math.NaN()
+	}
+	body := s
+	if body[0] == '-' {
+		body = body[1:]
+	}
+	digits, dot := 0, false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '.' && !dot:
+			dot = true
+		default:
+			return math.NaN()
+		}
+	}
+	if digits == 0 {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Equal reports deep equality of two values; node sets compare by
+// membership. It is used by tests and by the differential harness.
+func Equal(a, b Value) bool {
+	if a.T != b.T {
+		return false
+	}
+	switch a.T {
+	case KindNumber:
+		return a.Num == b.Num || (math.IsNaN(a.Num) && math.IsNaN(b.Num))
+	case KindString:
+		return a.Str == b.Str
+	case KindBoolean:
+		return a.Bool == b.Bool
+	default:
+		return a.Set.Equal(b.Set)
+	}
+}
+
+// Render formats the value for CLI and example output: node sets via
+// xmltree.Set.String, scalars via their XPath string conversion.
+func Render(v Value) string {
+	if v.T == KindNodeSet {
+		return v.Set.String()
+	}
+	return ToString(v)
+}

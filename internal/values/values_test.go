@@ -1,0 +1,403 @@
+package values
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/syntax"
+	"repro/internal/xmltree"
+)
+
+func sampleDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(`<a id="10"><b id="11">7</b><b id="12">x</b><c id="13">100</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNumberToString(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 1: "1", -1: "-1", 2.5: "2.5", -0.5: "-0.5",
+		100: "100", 1e15: "1000000000000000", 0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := NumberToString(in); got != want {
+			t.Errorf("NumberToString(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := NumberToString(math.NaN()); got != "NaN" {
+		t.Errorf("NaN → %q", got)
+	}
+	if got := NumberToString(math.Inf(1)); got != "Infinity" {
+		t.Errorf("+Inf → %q", got)
+	}
+	if got := NumberToString(math.Inf(-1)); got != "-Infinity" {
+		t.Errorf("-Inf → %q", got)
+	}
+	if got := NumberToString(math.Copysign(0, -1)); got != "0" {
+		t.Errorf("-0 → %q, want 0", got)
+	}
+}
+
+func TestStringToNumber(t *testing.T) {
+	cases := map[string]float64{
+		"1": 1, " 42 ": 42, "-3.5": -3.5, ".5": 0.5, "5.": 5,
+		"\t7\n": 7, "-0": 0, "007": 7,
+	}
+	for in, want := range cases {
+		if got := StringToNumber(in); got != want {
+			t.Errorf("StringToNumber(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "1x", "1 2", "+1", "1e3", "Infinity", "NaN", "--1", "1.2.3", "-", "."} {
+		if got := StringToNumber(bad); !math.IsNaN(got) {
+			t.Errorf("StringToNumber(%q) = %v, want NaN", bad, got)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	d := sampleDoc(t)
+	set := xmltree.NewSet(d)
+	set.Add(d.ByID("13"))
+	set.Add(d.ByID("11"))
+
+	if got := ToString(NodeSet(set)); got != "7" {
+		t.Errorf("string(nset) = %q, want first node's strval", got)
+	}
+	if got := ToNumber(NodeSet(set)); got != 7 {
+		t.Errorf("number(nset) = %v", got)
+	}
+	if !ToBool(NodeSet(set)) || ToBool(NodeSet(xmltree.NewSet(d))) {
+		t.Error("boolean(nset) wrong")
+	}
+	if ToNumber(Boolean(true)) != 1 || ToNumber(Boolean(false)) != 0 {
+		t.Error("number(bool) wrong")
+	}
+	if ToString(Boolean(true)) != "true" || ToString(Boolean(false)) != "false" {
+		t.Error("string(bool) wrong")
+	}
+	if ToBool(Number(0)) || !ToBool(Number(-2)) || ToBool(Number(math.NaN())) {
+		t.Error("boolean(num) wrong")
+	}
+	if ToBool(String("")) || !ToBool(String("0")) {
+		t.Error("boolean(str) wrong: boolean('0') is true in XPath 1.0")
+	}
+}
+
+func TestCompareScalars(t *testing.T) {
+	type tc struct {
+		op   syntax.BinOp
+		a, b Value
+		want bool
+	}
+	cases := []tc{
+		{syntax.OpEq, Number(1), Number(1), true},
+		{syntax.OpEq, Number(1), String("1"), true},
+		{syntax.OpEq, String("a"), String("a"), true},
+		{syntax.OpNeq, String("a"), String("b"), true},
+		{syntax.OpEq, Boolean(true), Number(5), true},   // bool wins: boolean(5)=true
+		{syntax.OpEq, Boolean(false), String(""), true}, // boolean("")=false
+		{syntax.OpEq, Boolean(true), String("0"), true}, // boolean("0")=true!
+		{syntax.OpLt, String("2"), String("10"), true},  // numeric, not lexicographic
+		{syntax.OpGt, Boolean(true), Boolean(false), true},
+		{syntax.OpEq, Number(math.NaN()), Number(math.NaN()), false},
+		{syntax.OpNeq, Number(math.NaN()), Number(math.NaN()), true},
+		{syntax.OpLt, Number(math.NaN()), Number(1), false},
+		{syntax.OpLe, Number(1), Number(1), true},
+		{syntax.OpGe, Number(0), Number(1), false},
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNodeSets(t *testing.T) {
+	d := sampleDoc(t)
+	bs := d.LabelSet("b") // strvals "7", "x"
+	cs := d.LabelSet("c") // strval "100"
+
+	if !Compare(syntax.OpEq, NodeSet(bs), Number(7)) {
+		t.Error("bs = 7 should hold (x11)")
+	}
+	if Compare(syntax.OpEq, NodeSet(cs), Number(7)) {
+		t.Error("cs = 7 should not hold")
+	}
+	if !Compare(syntax.OpNeq, NodeSet(bs), Number(7)) {
+		t.Error("bs != 7 should hold too (x12 is 'x' → NaN ≠ 7)")
+	}
+	if !Compare(syntax.OpLt, NodeSet(bs), Number(8)) {
+		t.Error("bs < 8 should hold")
+	}
+	if !Compare(syntax.OpEq, NodeSet(bs), String("x")) {
+		t.Error(`bs = "x" should hold`)
+	}
+	// nset × nset existential.
+	if Compare(syntax.OpEq, NodeSet(bs), NodeSet(cs)) {
+		t.Error("bs = cs should not hold")
+	}
+	if !Compare(syntax.OpLt, NodeSet(bs), NodeSet(cs)) {
+		t.Error("bs < cs should hold (7 < 100)")
+	}
+	// Empty sets never satisfy existential comparisons.
+	empty := NodeSet(xmltree.NewSet(d))
+	for _, op := range []syntax.BinOp{syntax.OpEq, syntax.OpNeq, syntax.OpLt, syntax.OpGt} {
+		if Compare(op, empty, Number(0)) {
+			t.Errorf("∅ %v 0 should be false", op)
+		}
+	}
+	// nset × bool goes through boolean(nset).
+	if !Compare(syntax.OpEq, NodeSet(bs), Boolean(true)) {
+		t.Error("bs = true() should hold")
+	}
+	if !Compare(syntax.OpEq, empty, Boolean(false)) {
+		t.Error("∅ = false() should hold")
+	}
+	// Mirrored operands.
+	if !Compare(syntax.OpGt, Number(8), NodeSet(bs)) {
+		t.Error("8 > bs should hold")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if Arith(syntax.OpAdd, 2, 3) != 5 || Arith(syntax.OpSub, 2, 3) != -1 ||
+		Arith(syntax.OpMul, 2, 3) != 6 {
+		t.Error("basic arithmetic broken")
+	}
+	if got := Arith(syntax.OpDiv, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("1 div 0 = %v", got)
+	}
+	if got := Arith(syntax.OpDiv, -1, 0); !math.IsInf(got, -1) {
+		t.Errorf("-1 div 0 = %v", got)
+	}
+	if got := Arith(syntax.OpDiv, 0, 0); !math.IsNaN(got) {
+		t.Errorf("0 div 0 = %v", got)
+	}
+	// XPath mod follows the truncated remainder: 5 mod -2 = 1, -5 mod 2 = -1.
+	if got := Arith(syntax.OpMod, 5, -2); got != 1 {
+		t.Errorf("5 mod -2 = %v", got)
+	}
+	if got := Arith(syntax.OpMod, -5, 2); got != -1 {
+		t.Errorf("-5 mod 2 = %v", got)
+	}
+	if got := Arith(syntax.OpMod, 5.5, 3); got != 2.5 {
+		t.Errorf("5.5 mod 3 = %v", got)
+	}
+}
+
+func callOK(t *testing.T, fn syntax.Func, env CallEnv, args ...Value) Value {
+	t.Helper()
+	v, err := Call(fn, args, env)
+	if err != nil {
+		t.Fatalf("Call(%v): %v", fn, err)
+	}
+	return v
+}
+
+func TestStringFunctions(t *testing.T) {
+	env := CallEnv{}
+	if got := callOK(t, syntax.FnConcat, env, String("a"), Number(1), Boolean(true)); got.Str != "a1true" {
+		t.Errorf("concat = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstring, env, String("12345"), Number(2), Number(3)); got.Str != "234" {
+		t.Errorf("substring(12345,2,3) = %q", got.Str)
+	}
+	// The REC's rounding edge cases.
+	if got := callOK(t, syntax.FnSubstring, env, String("12345"), Number(1.5), Number(2.6)); got.Str != "234" {
+		t.Errorf("substring(12345,1.5,2.6) = %q, want 234", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstring, env, String("12345"), Number(0), Number(3)); got.Str != "12" {
+		t.Errorf("substring(12345,0,3) = %q, want 12", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstring, env, String("12345"), Number(math.NaN())); got.Str != "" {
+		t.Errorf("substring with NaN start = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstring, env, String("12345"), Number(-42), Number(math.Inf(1))); got.Str != "12345" {
+		t.Errorf("substring(12345,-42,inf) = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstring, env, String("héllo"), Number(2), Number(2)); got.Str != "él" {
+		t.Errorf("substring rune handling = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnNormalizeSpace, env, String("  a \t b\n c ")); got.Str != "a b c" {
+		t.Errorf("normalize-space = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnTranslate, env, String("bar"), String("abc"), String("ABC")); got.Str != "BAr" {
+		t.Errorf("translate = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnTranslate, env, String("-aaa-"), String("a-"), String("A")); got.Str != "AAA" {
+		t.Errorf("translate with removal = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnStringLength, env, String("héllo")); got.Num != 5 {
+		t.Errorf("string-length = %v (runes, not bytes)", got.Num)
+	}
+	if got := callOK(t, syntax.FnSubstringBefore, env, String("1999/04"), String("/")); got.Str != "1999" {
+		t.Errorf("substring-before = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstringAfter, env, String("1999/04"), String("/")); got.Str != "04" {
+		t.Errorf("substring-after = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnSubstringBefore, env, String("ab"), String("")); got.Str != "" {
+		t.Errorf("substring-before with empty sep = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnStartsWith, env, String("abc"), String("ab")); !got.Bool {
+		t.Error("starts-with failed")
+	}
+	if got := callOK(t, syntax.FnContains, env, String("abc"), String("")); !got.Bool {
+		t.Error("contains with empty needle should be true")
+	}
+}
+
+func TestNumberFunctions(t *testing.T) {
+	env := CallEnv{}
+	if got := callOK(t, syntax.FnFloor, env, Number(2.7)); got.Num != 2 {
+		t.Errorf("floor = %v", got.Num)
+	}
+	if got := callOK(t, syntax.FnFloor, env, Number(-2.1)); got.Num != -3 {
+		t.Errorf("floor(-2.1) = %v", got.Num)
+	}
+	if got := callOK(t, syntax.FnCeiling, env, Number(2.1)); got.Num != 3 {
+		t.Errorf("ceiling = %v", got.Num)
+	}
+	if got := callOK(t, syntax.FnRound, env, Number(2.5)); got.Num != 3 {
+		t.Errorf("round(2.5) = %v", got.Num)
+	}
+	if got := callOK(t, syntax.FnRound, env, Number(-2.5)); got.Num != -2 {
+		t.Errorf("round(-2.5) = %v, want -2 (ties toward +∞)", got.Num)
+	}
+	if got := callOK(t, syntax.FnRound, env, Number(-0.3)); !(got.Num == 0 && math.Signbit(got.Num)) {
+		t.Errorf("round(-0.3) = %v, want -0", got.Num)
+	}
+	if got := callOK(t, syntax.FnRound, env, Number(math.NaN())); !math.IsNaN(got.Num) {
+		t.Errorf("round(NaN) = %v", got.Num)
+	}
+}
+
+func TestNodeSetFunctions(t *testing.T) {
+	d := sampleDoc(t)
+	env := CallEnv{Doc: d, Node: d.ByID("11")}
+	bs := d.LabelSet("b")
+
+	if got := callOK(t, syntax.FnCount, env, NodeSet(bs)); got.Num != 2 {
+		t.Errorf("count = %v", got.Num)
+	}
+	// sum over {7, x}: 7 + NaN = NaN.
+	if got := callOK(t, syntax.FnSum, env, NodeSet(bs)); !math.IsNaN(got.Num) {
+		t.Errorf("sum with non-numeric member = %v, want NaN", got.Num)
+	}
+	if got := callOK(t, syntax.FnSum, env, NodeSet(d.LabelSet("c"))); got.Num != 100 {
+		t.Errorf("sum(c) = %v", got.Num)
+	}
+	if got := callOK(t, syntax.FnID, env, String("13 11 99")); got.Set.Len() != 2 {
+		t.Errorf("id() = %v", got.Set)
+	}
+	if got := callOK(t, syntax.FnName, env); got.Str != "b" {
+		t.Errorf("name() = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnLocalName, env, NodeSet(d.LabelSet("c"))); got.Str != "c" {
+		t.Errorf("local-name(c) = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnName, env, NodeSet(xmltree.NewSet(d))); got.Str != "" {
+		t.Errorf("name(∅) = %q", got.Str)
+	}
+	// Zero-argument string()/number() use the context node.
+	if got := callOK(t, syntax.FnString, env); got.Str != "7" {
+		t.Errorf("string() = %q", got.Str)
+	}
+	if got := callOK(t, syntax.FnNumber, env); got.Num != 7 {
+		t.Errorf("number() = %v", got.Num)
+	}
+}
+
+func TestLang(t *testing.T) {
+	d, err := xmltree.ParseString(`<a xml:lang="en"><b/><c xml:lang="de-AT"><d/></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.Root().Children()[0].Children()[0]
+	c := d.Root().Children()[0].Children()[1]
+	dd := c.Children()[0]
+	cases := []struct {
+		n    *xmltree.Node
+		arg  string
+		want bool
+	}{
+		{b, "en", true}, {b, "EN", true}, {b, "de", false},
+		{dd, "de", true}, {dd, "de-AT", true}, {dd, "en", false},
+		{c, "de", true},
+	}
+	for _, cse := range cases {
+		got := callOK(t, syntax.FnLang, CallEnv{Doc: d, Node: cse.n}, String(cse.arg))
+		if got.Bool != cse.want {
+			t.Errorf("lang(%q) at %s = %v, want %v", cse.arg, cse.n.Label(), got.Bool, cse.want)
+		}
+	}
+}
+
+// TestQuickNumberStringRoundTrip: to_number(to_string(n)) == n for finite
+// numbers (testing/quick).
+func TestQuickNumberStringRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		got := StringToNumber(NumberToString(v))
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareMirror: a op b == b mirror(op) a for numbers.
+func TestQuickCompareMirror(t *testing.T) {
+	ops := []syntax.BinOp{syntax.OpEq, syntax.OpNeq, syntax.OpLt, syntax.OpLe, syntax.OpGt, syntax.OpGe}
+	f := func(a, b float64) bool {
+		for _, op := range ops {
+			if Compare(op, Number(a), Number(b)) != Compare(op.Mirror(), Number(b), Number(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTranslateIdempotentOnDisjoint: translating characters not present
+// in the string changes nothing.
+func TestQuickTranslateIdempotentOnDisjoint(t *testing.T) {
+	f := func(s string) bool {
+		out := translate(s, "\x00\x01", "xy")
+		cleaned := translate(s, "", "")
+		return cleaned == s && (out == s || (len(s) > 0 && out != ""))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualAndRender(t *testing.T) {
+	d := sampleDoc(t)
+	s := d.LabelSet("b")
+	if !Equal(NodeSet(s), NodeSet(s.Clone())) {
+		t.Error("Equal on identical sets")
+	}
+	if Equal(Number(1), String("1")) {
+		t.Error("Equal across kinds must be false")
+	}
+	if !Equal(Number(math.NaN()), Number(math.NaN())) {
+		t.Error("Equal treats NaN as identical for test comparison")
+	}
+	if got := Render(Number(2.5)); got != "2.5" {
+		t.Errorf("Render = %q", got)
+	}
+	if got := Render(NodeSet(s)); got != "{x11, x12}" {
+		t.Errorf("Render nset = %q", got)
+	}
+}

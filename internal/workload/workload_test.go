@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+func TestFigure2Shape(t *testing.T) {
+	d := Figure2()
+	if d.Size() != 9 {
+		t.Errorf("|dom| = %d, want 9", d.Size())
+	}
+	if d.ByID("14").StringValue() != "100" {
+		t.Error("strval(x14) != 100")
+	}
+}
+
+func TestDoubling(t *testing.T) {
+	d := Doubling()
+	if d.Size() != 3 {
+		t.Errorf("|dom| = %d, want 3", d.Size())
+	}
+}
+
+func TestScaledSizes(t *testing.T) {
+	for _, n := range []int{10, 50, 200, 999} {
+		d := Scaled(n)
+		if d.Size() < n-1 || d.Size() > n+1 {
+			t.Errorf("Scaled(%d) has %d nodes", n, d.Size())
+		}
+		// The paper's predicates need some "100" leaves.
+		if !strings.Contains(d.XMLString(), ">100<") {
+			t.Errorf("Scaled(%d) has no '100' leaves", n)
+		}
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	d := DeepChain(30)
+	if d.Size() != 30 {
+		t.Errorf("size %d, want 30", d.Size())
+	}
+	// Depth: walk down.
+	n := d.Root()
+	depth := 0
+	for len(n.Children()) > 0 {
+		n = n.Children()[0]
+		depth++
+	}
+	if depth != 30 {
+		t.Errorf("depth %d, want 30", depth)
+	}
+}
+
+func TestWideFan(t *testing.T) {
+	d := WideFan(50)
+	if d.Size() != 50 {
+		t.Errorf("size %d", d.Size())
+	}
+	if got := len(d.Root().Children()[0].Children()); got != 49 {
+		t.Errorf("fanout %d, want 49", got)
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(80, 42).XMLString()
+	b := Random(80, 42).XMLString()
+	if a != b {
+		t.Error("Random is not deterministic for equal seeds")
+	}
+	c := Random(80, 43).XMLString()
+	if a == c {
+		t.Error("different seeds should give different documents")
+	}
+}
+
+func TestDoublingQueryShape(t *testing.T) {
+	q := DoublingQuery(3)
+	if got := strings.Count(q, "parent::a"); got != 3 {
+		t.Errorf("%q has %d parent steps", q, got)
+	}
+	if _, err := syntax.Compile(q); err != nil {
+		t.Errorf("DoublingQuery(3) does not compile: %v", err)
+	}
+}
+
+func TestAllQueryFamiliesCompile(t *testing.T) {
+	var all []string
+	all = append(all, PositionHeavy(), MixedQuery())
+	all = append(all, WadlerQueries()...)
+	all = append(all, CoreQueries()...)
+	all = append(all, FullXPathQueries()...)
+	for i := 1; i <= 6; i++ {
+		all = append(all, DoublingQuery(i))
+	}
+	for _, src := range all {
+		if _, err := syntax.Compile(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestQueryFamilyFragments(t *testing.T) {
+	for _, src := range CoreQueries() {
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Fragment != syntax.FragmentCoreXPath {
+			t.Errorf("%q classified %v, want core", src, q.Fragment)
+		}
+	}
+	for _, src := range WadlerQueries() {
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Fragment == syntax.FragmentFullXPath {
+			t.Errorf("%q classified full-xpath, want a restricted fragment", src)
+		}
+	}
+	for _, src := range FullXPathQueries() {
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Fragment != syntax.FragmentFullXPath {
+			t.Errorf("%q classified %v, want full-xpath", src, q.Fragment)
+		}
+	}
+}
+
+func TestRandomQueryDeterminismAndValidity(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a, b := RandomQuery(seed), RandomQuery(seed)
+		if a != b {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+		if _, err := syntax.Compile(a); err != nil {
+			t.Errorf("seed %d: %q does not compile: %v", seed, a, err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package xmltree
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Set is a set of nodes of one Document, represented as a bitset over the
+// document-order index. This is the node-set representation assumed by
+// Definition 1 of the paper: unions, intersections and membership are cheap,
+// and iteration enumerates nodes in document order (or reverse document
+// order), which the axis functions and position/size loops require.
+//
+// The zero value is not useful; use NewSet.
+type Set struct {
+	doc   *Document
+	words []uint64
+	n     int // cached cardinality; -1 when stale
+}
+
+// NewSet returns an empty set over the given document's nodes.
+func NewSet(doc *Document) *Set {
+	return &Set{doc: doc, words: make([]uint64, (doc.NumNodes()+63)/64), n: 0}
+}
+
+// Document returns the document this set draws its nodes from.
+func (s *Set) Document() *Document { return s.doc }
+
+// Add inserts the node into the set.
+func (s *Set) Add(node *Node) { s.AddPre(node.pre) }
+
+// AddPre inserts the node with the given document-order index.
+func (s *Set) AddPre(pre int) {
+	w, b := pre/64, uint(pre%64)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		if s.n >= 0 {
+			s.n++
+		}
+	}
+}
+
+// Remove deletes the node from the set.
+func (s *Set) Remove(node *Node) {
+	w, b := node.pre/64, uint(node.pre%64)
+	if s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		if s.n >= 0 {
+			s.n--
+		}
+	}
+}
+
+// Has reports whether the node is in the set.
+func (s *Set) Has(node *Node) bool { return s.HasPre(node.pre) }
+
+// HasPre reports whether the node with the given document-order index is in
+// the set.
+func (s *Set) HasPre(pre int) bool {
+	return s.words[pre/64]&(1<<uint(pre%64)) != 0
+}
+
+// Len returns the number of nodes in the set.
+func (s *Set) Len() int {
+	if s.n < 0 {
+		n := 0
+		for _, w := range s.words {
+			n += bits.OnesCount64(w)
+		}
+		s.n = n
+	}
+	return s.n
+}
+
+// IsEmpty reports whether the set contains no nodes.
+func (s *Set) IsEmpty() bool {
+	if s.n >= 0 {
+		return s.n == 0
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{doc: s.doc, words: w, n: s.n}
+}
+
+// Clear removes all nodes from the set.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// UnionWith adds every node of t to s (s ∪= t).
+func (s *Set) UnionWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+	s.n = -1
+}
+
+// IntersectWith removes from s every node not in t (s ∩= t).
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+	s.n = -1
+}
+
+// SubtractWith removes from s every node in t (s −= t).
+func (s *Set) SubtractWith(t *Set) {
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+	s.n = -1
+}
+
+// Union returns a new set s ∪ t.
+func (s *Set) Union(t *Set) *Set {
+	out := s.Clone()
+	out.UnionWith(t)
+	return out
+}
+
+// Intersect returns a new set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set {
+	out := s.Clone()
+	out.IntersectWith(t)
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same nodes.
+func (s *Set) Equal(t *Set) bool {
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is nonempty.
+func (s *Set) Intersects(t *Set) bool {
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// First returns the first node of the set in document order
+// (first_<doc of §2.1), or nil if the set is empty.
+func (s *Set) First() *Node {
+	for i, w := range s.words {
+		if w != 0 {
+			return s.doc.nodes[i*64+bits.TrailingZeros64(w)]
+		}
+	}
+	return nil
+}
+
+// Last returns the last node of the set in document order, or nil.
+func (s *Set) Last() *Node {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return s.doc.nodes[i*64+63-bits.LeadingZeros64(w)]
+		}
+	}
+	return nil
+}
+
+// ForEach calls f for every node of the set in document order.
+func (s *Set) ForEach(f func(*Node)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(s.doc.nodes[i*64+b])
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// ForEachReverse calls f for every node of the set in reverse document
+// order, the iteration order <doc,χ of the backward axes (§2.1).
+func (s *Set) ForEachReverse(f func(*Node)) {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		w := s.words[i]
+		for w != 0 {
+			b := 63 - bits.LeadingZeros64(w)
+			f(s.doc.nodes[i*64+b])
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Nodes returns the set's nodes as a fresh slice in document order.
+func (s *Set) Nodes() []*Node {
+	out := make([]*Node, 0, s.Len())
+	s.ForEach(func(n *Node) { out = append(out, n) })
+	return out
+}
+
+// NodesReverse returns the set's nodes as a fresh slice in reverse document
+// order.
+func (s *Set) NodesReverse() []*Node {
+	out := make([]*Node, 0, s.Len())
+	s.ForEachReverse(func(n *Node) { out = append(out, n) })
+	return out
+}
+
+// AppendTo appends the set's nodes in document order to dst and returns the
+// extended slice; it is the allocation-conscious form of Nodes.
+func (s *Set) AppendTo(dst []*Node) []*Node {
+	s.ForEach(func(n *Node) { dst = append(dst, n) })
+	return dst
+}
+
+// String renders the set as the labels-with-ids notation used in the paper's
+// examples, e.g. "{x11, x12}". Nodes without an id attribute render by label
+// and document-order index.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	s.ForEach(func(n *Node) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		if id, ok := n.Attr("id"); ok {
+			b.WriteString("x" + id)
+		} else if n.IsRoot() {
+			b.WriteString("/")
+		} else {
+			b.WriteString(n.Label())
+		}
+	})
+	b.WriteString("}")
+	return b.String()
+}
+
+// SetFromNodes builds a set containing the given nodes, which must all
+// belong to doc.
+func SetFromNodes(doc *Document, nodes []*Node) *Set {
+	s := NewSet(doc)
+	for _, n := range nodes {
+		s.Add(n)
+	}
+	return s
+}
+
+// Singleton returns the set {n}.
+func Singleton(n *Node) *Set {
+	s := NewSet(n.doc)
+	s.Add(n)
+	return s
+}

@@ -1,0 +1,199 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a compact binary serialization of a Document: labels are
+// interned into a string table and the tree is emitted as a preorder event
+// stream. Loading a snapshot rebuilds the document — including all derived
+// indexes (document order, event numbers, string values, label sets, ids) —
+// without re-parsing XML. It is the persistence substrate the paper's
+// conclusion points at ("using our techniques for XPath processors that
+// query XML documents stored in a database"): documents can be prepared
+// once and memory-mapped into evaluation processes cheaply.
+//
+// Format (all integers unsigned varints, strings length-prefixed):
+//
+//	magic "XPT1"
+//	labelCount, labels…
+//	events…  where each event is one of
+//	    0 end-of-element
+//	    1 start-of-element: labelIdx, attrCount, (name, value)…
+//	    2 text: content
+//	    3 end-of-document
+const snapshotMagic = "XPT1"
+
+const (
+	evEnd byte = iota
+	evStart
+	evText
+	evEOF
+)
+
+// WriteSnapshot serializes the document.
+func (d *Document) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+
+	// Label table, in order of first appearance.
+	labelIdx := make(map[string]int)
+	var labels []string
+	for _, n := range d.nodes[1:] {
+		if _, ok := labelIdx[n.label]; !ok {
+			labelIdx[n.label] = len(labels)
+			labels = append(labels, n.label)
+		}
+	}
+	writeUvarint(bw, uint64(len(labels)))
+	for _, l := range labels {
+		writeString(bw, l)
+	}
+
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if !n.IsRoot() {
+			if err := bw.WriteByte(evStart); err != nil {
+				return err
+			}
+			writeUvarint(bw, uint64(labelIdx[n.label]))
+			writeUvarint(bw, uint64(len(n.attrs)))
+			for _, a := range n.attrs {
+				writeString(bw, a.Name)
+				writeString(bw, a.Value)
+			}
+		}
+		for _, seg := range n.segments {
+			if seg.child != nil {
+				if err := walk(seg.child); err != nil {
+					return err
+				}
+			} else {
+				if err := bw.WriteByte(evText); err != nil {
+					return err
+				}
+				writeString(bw, seg.text)
+			}
+		}
+		if !n.IsRoot() {
+			if err := bw.WriteByte(evEnd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(d.root); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(evEOF); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a snapshot written by WriteSnapshot and rebuilds the
+// document with all evaluation indexes.
+func LoadSnapshot(r io.Reader) (*Document, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("xmltree: snapshot: bad magic %q", magic)
+	}
+	nLabels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: label count: %w", err)
+	}
+	if nLabels > 1<<24 {
+		return nil, fmt.Errorf("xmltree: snapshot: implausible label count %d", nLabels)
+	}
+	labels := make([]string, nLabels)
+	for i := range labels {
+		if labels[i], err = readString(br); err != nil {
+			return nil, fmt.Errorf("xmltree: snapshot: label %d: %w", i, err)
+		}
+	}
+
+	b := NewBuilder()
+	for {
+		ev, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: snapshot: event: %w", err)
+		}
+		switch ev {
+		case evStart:
+			li, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if li >= uint64(len(labels)) {
+				return nil, fmt.Errorf("xmltree: snapshot: label index %d out of range", li)
+			}
+			nAttrs, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if nAttrs > 1<<20 {
+				return nil, fmt.Errorf("xmltree: snapshot: implausible attribute count %d", nAttrs)
+			}
+			attrs := make([]Attr, nAttrs)
+			for i := range attrs {
+				if attrs[i].Name, err = readString(br); err != nil {
+					return nil, err
+				}
+				if attrs[i].Value, err = readString(br); err != nil {
+					return nil, err
+				}
+			}
+			b.Start(labels[li], attrs...)
+		case evText:
+			s, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			b.Text(s)
+		case evEnd:
+			if err := b.End(); err != nil {
+				return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+			}
+		case evEOF:
+			return b.Done()
+		default:
+			return nil, fmt.Errorf("xmltree: snapshot: unknown event %d", ev)
+		}
+	}
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	// bufio.Writer.Write never returns an error until Flush.
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,316 @@
+package xpath
+
+// Golden tests reproducing the paper's running examples end-to-end:
+// the Figure 2 document, the §2.4 query with its Figure 4/5 context-value
+// tables, Examples 3–5 (MINCONTEXT) and Example 9 (OPTMINCONTEXT).
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2XML is the sample XML document of Figure 2.
+const figure2XML = `<a id="10"><b id="11"><c id="12">21 22</c><c id="13">23 24</c><d id="14">100</d></b><b id="21"><c id="22">11 12</c><d id="23">13 14</d><d id="24">100</d></b></a>`
+
+// section24Query is the running query e of Section 2.4.
+const section24Query = `/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]`
+
+// example9Query is the query Q of Example 9.
+const example9Query = `/child::a/descendant::*[boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)]`
+
+func figure2Doc(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseDocumentString(figure2XML)
+	if err != nil {
+		t.Fatalf("parse Figure 2 document: %v", err)
+	}
+	if doc.Size() != 9 {
+		t.Fatalf("Figure 2 |dom| = %d, want 9", doc.Size())
+	}
+	return doc
+}
+
+// ids renders a node list as the paper's x-notation for comparison.
+func ids(nodes []*Node) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		id, _ := n.Attr("id")
+		parts[i] = "x" + id
+	}
+	return strings.Join(parts, " ")
+}
+
+// evalNodes evaluates the query on the engine and returns the x-notation.
+func evalNodes(t *testing.T, doc *Document, query string, eng Engine) string {
+	t.Helper()
+	q, err := Compile(query)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	res, err := q.EvaluateWith(doc, Options{Engine: eng})
+	if err != nil {
+		t.Fatalf("engine %v on %q: %v", eng, query, err)
+	}
+	return ids(res.Nodes())
+}
+
+// allEngines lists the engines able to run arbitrary full-XPath queries.
+var allEngines = []Engine{EngineOptMinContext, EngineMinContext,
+	EngineTopDown, EngineBottomUp, EngineNaive}
+
+// TestSection24Result checks the final result of the running example:
+// "The final result of evaluating e is {x13, x14, x21, x22, x23, x24}".
+func TestSection24Result(t *testing.T) {
+	doc := figure2Doc(t)
+	want := "x13 x14 x21 x22 x23 x24"
+	for _, eng := range allEngines {
+		if got := evalNodes(t, doc, section24Query, eng); got != want {
+			t.Errorf("engine %v: got {%s}, want {%s}", eng, got, want)
+		}
+	}
+}
+
+// TestFigure4N2 checks the context-value table rows of node N2 given in
+// Figure 4: descendant::*[…] per previous context node.
+func TestFigure4N2(t *testing.T) {
+	doc := figure2Doc(t)
+	sub := `descendant::*[position() > last()*0.5 or self::* = 100]`
+	want := map[string]string{
+		"10": "x14 x21 x22 x23 x24",
+		"11": "x13 x14",
+		"21": "x23 x24",
+		"12": "", "13": "", "14": "", "22": "", "23": "", "24": "",
+	}
+	q := MustCompile(sub)
+	for id, exp := range want {
+		cn := doc.ByID(id)
+		if cn == nil {
+			t.Fatalf("node x%s missing", id)
+		}
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng, ContextNode: cn})
+			if err != nil {
+				t.Fatalf("engine %v at x%s: %v", eng, id, err)
+			}
+			if got := ids(res.Nodes()); got != exp {
+				t.Errorf("engine %v, cn=x%s: got {%s}, want {%s}", eng, id, got, exp)
+			}
+		}
+	}
+}
+
+// TestFigure4N3 checks rows of the predicate table N3 (Figure 4): the
+// predicate value for contexts reachable via the two descendant steps.
+func TestFigure4N3(t *testing.T) {
+	doc := figure2Doc(t)
+	pred := `position() > last()*0.5 or self::* = 100`
+	q := MustCompile(pred)
+	cases := []struct {
+		id       string
+		pos, sz  int
+		expected bool
+	}{
+		{"11", 1, 8, false}, {"12", 2, 8, false}, {"13", 3, 8, false},
+		{"14", 4, 8, true}, {"21", 5, 8, true}, {"22", 6, 8, true},
+		{"23", 7, 8, true}, {"24", 8, 8, true},
+		{"12", 1, 3, false}, {"13", 2, 3, true}, {"14", 3, 3, true},
+		{"22", 1, 3, false}, {"23", 2, 3, true}, {"24", 3, 3, true},
+	}
+	for _, c := range cases {
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{
+				Engine: eng, ContextNode: doc.ByID(c.id), Position: c.pos, Size: c.sz})
+			if err != nil {
+				t.Fatalf("engine %v: %v", eng, err)
+			}
+			if got := res.Bool(); got != c.expected {
+				t.Errorf("engine %v, ctx <x%s,%d,%d>: got %v, want %v",
+					eng, c.id, c.pos, c.sz, got, c.expected)
+			}
+		}
+	}
+}
+
+// TestFigure5N5 checks the reduced table of N5 (self::* = 100) from
+// Figure 5. Note the figure lists x24 under "false" in the reduced table
+// although Figure 4 lists it "true"; Figure 4 is consistent with the
+// semantics (strval(x24) = "100"), so we test against Figure 4's values.
+func TestFigure5N5(t *testing.T) {
+	doc := figure2Doc(t)
+	q := MustCompile(`self::* = 100`)
+	want := map[string]bool{
+		"11": false, "12": false, "13": false, "14": true,
+		"21": false, "22": false, "23": false, "24": true,
+	}
+	for id, exp := range want {
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng, ContextNode: doc.ByID(id)})
+			if err != nil {
+				t.Fatalf("engine %v: %v", eng, err)
+			}
+			if got := res.Bool(); got != exp {
+				t.Errorf("engine %v, cn=x%s: got %v, want %v", eng, id, got, exp)
+			}
+		}
+	}
+}
+
+// TestExample4 checks the outermost-path node sets of Example 4:
+// X = dom at N1's first step and Y = {x13,…} at N2, with the final result
+// read from the last location step.
+func TestExample4(t *testing.T) {
+	doc := figure2Doc(t)
+	first := evalNodes(t, doc, `/descendant::*`, EngineOptMinContext)
+	if first != "x10 x11 x12 x13 x14 x21 x22 x23 x24" {
+		t.Errorf("/descendant::* = {%s}, want all of dom", first)
+	}
+	final := evalNodes(t, doc, section24Query, EngineOptMinContext)
+	if final != "x13 x14 x21 x22 x23 x24" {
+		t.Errorf("final result = {%s}", final)
+	}
+}
+
+// TestExample9 checks the OPTMINCONTEXT worked example: the query Q of
+// Example 9 evaluates to {x11, x12, x13, x14, x22}.
+func TestExample9(t *testing.T) {
+	doc := figure2Doc(t)
+	want := "x11 x12 x13 x14 x22"
+	for _, eng := range allEngines {
+		if got := evalNodes(t, doc, example9Query, eng); got != want {
+			t.Errorf("engine %v: got {%s}, want {%s}", eng, got, want)
+		}
+	}
+}
+
+// TestExample9InnerRho checks the bottom-up trace of Example 9: the inner
+// path ρ = preceding-sibling::*/preceding::* compared with 100 holds
+// exactly at {x23, x24}.
+func TestExample9InnerRho(t *testing.T) {
+	doc := figure2Doc(t)
+	q := MustCompile(`preceding-sibling::*/preceding::* = 100`)
+	want := map[string]bool{
+		"10": false, "11": false, "12": false, "13": false, "14": false,
+		"21": false, "22": false, "23": true, "24": true,
+	}
+	for id, exp := range want {
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng, ContextNode: doc.ByID(id)})
+			if err != nil {
+				t.Fatalf("engine %v: %v", eng, err)
+			}
+			if got := res.Bool(); got != exp {
+				t.Errorf("engine %v, cn=x%s: got %v, want %v", eng, id, got, exp)
+			}
+		}
+	}
+}
+
+// TestExample9PiTable checks that boolean(π) of Example 9 holds exactly on
+// X = {x11, x12, x13, x14, x22} ("the context-value table of the node N3
+// has the value true … exactly for the nodes in X").
+func TestExample9PiTable(t *testing.T) {
+	doc := figure2Doc(t)
+	q := MustCompile(`boolean(following::d[(position() != last()) and (preceding-sibling::*/preceding::* = 100)]/following::d)`)
+	trueAt := map[string]bool{"11": true, "12": true, "13": true, "14": true, "22": true}
+	for _, id := range []string{"10", "11", "12", "13", "14", "21", "22", "23", "24"} {
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng, ContextNode: doc.ByID(id)})
+			if err != nil {
+				t.Fatalf("engine %v: %v", eng, err)
+			}
+			if got := res.Bool(); got != trueAt[id] {
+				t.Errorf("engine %v, cn=x%s: boolean(π) = %v, want %v", eng, id, got, trueAt[id])
+			}
+		}
+	}
+}
+
+// TestCoreXPathEngineOnFigure2 cross-checks the linear engine against the
+// general engines on Core XPath queries over the Figure 2 document.
+func TestCoreXPathEngineOnFigure2(t *testing.T) {
+	doc := figure2Doc(t)
+	queries := []string{
+		`/child::a/child::b/child::c`,
+		`/descendant::d`,
+		`/child::a/child::b[child::d]`,
+		`/descendant::*[following-sibling::d]`,
+		`/descendant::b[not(child::c) or child::d[following-sibling::d]]`,
+		`/descendant::*[ancestor::b and descendant::node()]`,
+	}
+	for _, src := range queries {
+		q := MustCompile(src)
+		if q.Fragment() != CoreXPath {
+			t.Errorf("%q classified %v, want core-xpath", src, q.Fragment())
+			continue
+		}
+		want := evalNodes(t, doc, src, EngineTopDown)
+		for _, eng := range []Engine{EngineCoreXPath, EngineOptMinContext, EngineMinContext, EngineNaive, EngineBottomUp} {
+			if got := evalNodes(t, doc, src, eng); got != want {
+				t.Errorf("%q: engine %v got {%s}, want {%s}", src, eng, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure4N6N7 checks the remaining Figure 4 tables: N6 (position())
+// returns cp for every reachable context, and N7 (last()*0.5) returns 4
+// for cs=8 and 1.5 for cs=3 — exactly the rows the figure prints.
+func TestFigure4N6N7(t *testing.T) {
+	doc := figure2Doc(t)
+	n6 := MustCompile(`position()`)
+	n7 := MustCompile(`last()*0.5`)
+	contexts := []struct {
+		id        string
+		pos, size int
+	}{
+		{"11", 1, 8}, {"12", 2, 8}, {"13", 3, 8},
+		{"22", 1, 3}, {"23", 2, 3}, {"24", 3, 3},
+		{"12", 1, 3}, {"24", 3, 3},
+	}
+	for _, c := range contexts {
+		for _, eng := range allEngines {
+			opts := Options{Engine: eng, ContextNode: doc.ByID(c.id), Position: c.pos, Size: c.size}
+			r6, err := n6.EvaluateWith(doc, opts)
+			if err != nil {
+				t.Fatalf("N6 %v: %v", eng, err)
+			}
+			if got := r6.Number(); got != float64(c.pos) {
+				t.Errorf("N6 %v at <x%s,%d,%d>: %v, want %d", eng, c.id, c.pos, c.size, got, c.pos)
+			}
+			r7, err := n7.EvaluateWith(doc, opts)
+			if err != nil {
+				t.Fatalf("N7 %v: %v", eng, err)
+			}
+			if got, want := r7.Number(), float64(c.size)*0.5; got != want {
+				t.Errorf("N7 %v at <x%s,%d,%d>: %v, want %v", eng, c.id, c.pos, c.size, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure4N8N9 checks the reduced tables of Figure 5 for N8 (self::*,
+// the per-cn singleton sets) and N9 (the constant 100).
+func TestFigure4N8N9(t *testing.T) {
+	doc := figure2Doc(t)
+	n8 := MustCompile(`self::*`)
+	for _, id := range []string{"11", "12", "13", "14", "21", "22", "23", "24"} {
+		for _, eng := range allEngines {
+			res, err := n8.EvaluateWith(doc, Options{Engine: eng, ContextNode: doc.ByID(id)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := res.Nodes()
+			if len(nodes) != 1 || nodes[0].Pre() != doc.ByID(id).Pre() {
+				t.Errorf("N8 %v at x%s: %v", eng, id, nodes)
+			}
+		}
+	}
+	n9 := MustCompile(`100`)
+	res, err := n9.Evaluate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Number() != 100 {
+		t.Errorf("N9 = %v", res.Number())
+	}
+}

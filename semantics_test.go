@@ -1,0 +1,266 @@
+package xpath
+
+// A conformance suite for XPath 1.0 semantics, asserted against every
+// engine. Each case pins down one behavior of the REC (and of the paper's
+// Figure 1 effective semantics): axis direction and ordering, predicate
+// positions, implicit conversions, comparison semantics across the sixteen
+// type pairings, core-function edge cases, and document-order results.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// semDoc is a document with enough structure to exercise every axis:
+//
+//	r
+//	└── s1 ── t1 "1", t2 "2", u1 ── v1 "x", v2 "3"
+//	└── s2 ── t3 "2", u2 ── w1 "" (empty)
+//	└── s3 (empty)
+const semXML = `<r id="r">` +
+	`<s id="s1"><t id="t1">1</t><t id="t2">2</t><u id="u1"><v id="v1">x</v><v id="v2">3</v></u></s>` +
+	`<s id="s2"><t id="t3">2</t><u id="u2"><w id="w1"></w></u></s>` +
+	`<s id="s3"></s>` +
+	`</r>`
+
+type semCase struct {
+	name    string
+	query   string
+	context string // id of context node, "" = root
+	// exactly one of the following is set
+	nodes *string // expected ids, space-separated ("" = empty set)
+	num   *float64
+	str   *string
+	boolv *bool
+}
+
+func nodesWant(ids string) *string { return &ids }
+func numWant(v float64) *float64   { return &v }
+func strWant(s string) *string     { return &s }
+func boolWant(b bool) *bool        { return &b }
+
+func semCases() []semCase {
+	return []semCase{
+		// ---- Axes ----
+		{name: "child", query: `/r/s`, nodes: nodesWant("s1 s2 s3")},
+		{name: "descendant order", query: `//v`, nodes: nodesWant("v1 v2")},
+		{name: "descendant-or-self", query: `//u/descendant-or-self::u`, nodes: nodesWant("u1 u2")},
+		{name: "parent", query: `//v/..`, nodes: nodesWant("u1")},
+		{name: "ancestor", query: `ancestor::*`, context: "v1", nodes: nodesWant("r s1 u1")},
+		{name: "ancestor-or-self", query: `ancestor-or-self::u`, context: "v1", nodes: nodesWant("u1")},
+		{name: "following", query: `following::*`, context: "u1", nodes: nodesWant("s2 t3 u2 w1 s3")},
+		{name: "preceding", query: `preceding::*`, context: "s2", nodes: nodesWant("s1 t1 t2 u1 v1 v2")},
+		{name: "preceding excludes ancestors", query: `preceding::*`, context: "v2", nodes: nodesWant("t1 t2 v1")},
+		{name: "following-sibling", query: `following-sibling::*`, context: "t1", nodes: nodesWant("t2 u1")},
+		{name: "preceding-sibling", query: `preceding-sibling::*`, context: "u1", nodes: nodesWant("t1 t2")},
+		{name: "self star", query: `self::*`, context: "t2", nodes: nodesWant("t2")},
+		{name: "self name mismatch", query: `self::u`, context: "t2", nodes: nodesWant("")},
+		{name: "root node only via node()", query: `/self::node()/r`, nodes: nodesWant("r")},
+
+		// ---- Predicates and positions ----
+		{name: "numeric predicate", query: `/r/s[2]`, nodes: nodesWant("s2")},
+		{name: "last()", query: `/r/s[last()]`, nodes: nodesWant("s3")},
+		{name: "position on reverse axis", query: `preceding-sibling::*[1]`, context: "u1", nodes: nodesWant("t2")},
+		{name: "position on reverse axis 2", query: `ancestor::*[2]`, context: "v1", nodes: nodesWant("s1")},
+		{name: "successive predicates", query: `/r/s/*[position()>1][position()=1]`, nodes: nodesWant("t2 u2")},
+		{name: "predicate on step not path", query: `//t[1]`, nodes: nodesWant("t1 t3")},
+		{name: "filter-path predicate", query: `(//t)[1]`, nodes: nodesWant("t1")},
+		{name: "filter-path last", query: `(//t)[last()]`, nodes: nodesWant("t3")},
+		{name: "boolean predicate", query: `/r/s[u]`, nodes: nodesWant("s1 s2")},
+		{name: "string predicate truth", query: `/r/s["nonempty"]`, nodes: nodesWant("s1 s2 s3")},
+		{name: "nested positional", query: `/r/s[t[2]]`, nodes: nodesWant("s1")},
+		{name: "predicate arith position", query: `/r/s[position() mod 2 = 1]`, nodes: nodesWant("s1 s3")},
+
+		// ---- Node-set results are sets in document order ----
+		{name: "union dedup ordered", query: `//t | //t | /r/s/t`, nodes: nodesWant("t1 t2 t3")},
+		{name: "parent dedup", query: `//v/parent::*`, nodes: nodesWant("u1")},
+		{name: "union mixed", query: `//w | //v[. = "x"]`, nodes: nodesWant("v1 w1")},
+
+		// ---- Conversions (Figure 1 / REC §4) ----
+		{name: "count", query: `count(//t)`, num: numWant(3)},
+		{name: "count empty", query: `count(//zzz)`, num: numWant(0)},
+		{name: "sum", query: `sum(//t)`, num: numWant(5)},
+		{name: "number of set = first node", query: `number(//t)`, num: numWant(1)},
+		{name: "number of non-numeric", query: `number(//v)`, num: numWant(math.NaN())},
+		{name: "string of empty set", query: `string(//zzz)`, str: strWant("")},
+		{name: "string of first", query: `string(//v)`, str: strWant("x")},
+		{name: "boolean of empty string", query: `boolean("")`, boolv: boolWant(false)},
+		{name: "boolean of zero", query: `boolean(0)`, boolv: boolWant(false)},
+		{name: "boolean of NaN", query: `boolean(0 div 0)`, boolv: boolWant(false)},
+		{name: "boolean of '0' is true", query: `boolean("0")`, boolv: boolWant(true)},
+		{name: "string of true", query: `string(1 = 1)`, str: strWant("true")},
+		{name: "number of true", query: `number(true())`, num: numWant(1)},
+
+		// ---- Comparisons across types ----
+		{name: "nset eq num", query: `//t = 2`, boolv: boolWant(true)},
+		{name: "nset neq num exists", query: `//t != 2`, boolv: boolWant(true)},
+		{name: "empty nset never equal", query: `//zzz = //t`, boolv: boolWant(false)},
+		{name: "empty nset never unequal", query: `//zzz != //t`, boolv: boolWant(false)},
+		{name: "empty eq false bool", query: `(//zzz = 1) = false()`, boolv: boolWant(true)},
+		// t strvals {"1","2"}, v strvals {"x","3"}: no common string value.
+		{name: "nset eq nset", query: `//t = //v`, boolv: boolWant(false)},
+		{name: "nset lt nset", query: `//t < //v`, boolv: boolWant(true)},
+		{name: "str num eq", query: `"2" = 2`, boolv: boolWant(true)},
+		{name: "bool beats num in eq", query: `2 = true()`, boolv: boolWant(true)},
+		{name: "ordering converts to num", query: `"10" > "9"`, boolv: boolWant(true)},
+		{name: "NaN not gt", query: `(0 div 0) > 0`, boolv: boolWant(false)},
+		{name: "NaN neq NaN", query: `(0 div 0) != (0 div 0)`, boolv: boolWant(true)},
+
+		// ---- Arithmetic ----
+		{name: "precedence", query: `2 + 3 * 4 - 1`, num: numWant(13)},
+		{name: "unary minus stack", query: `5 - -3`, num: numWant(8)},
+		{name: "div by zero", query: `-2 div 0`, num: numWant(math.Inf(-1))},
+		{name: "mod negative", query: `-7 mod 3`, num: numWant(-1)},
+		{name: "float mod", query: `7.5 mod 2`, num: numWant(1.5)},
+		{name: "sum with arithmetic", query: `sum(//t) * 2 + count(//v)`, num: numWant(12)},
+
+		// ---- String functions ----
+		{name: "concat multi", query: `concat("a", 1, true())`, str: strWant("a1true")},
+		{name: "contains", query: `contains(string(//s), "1")`, boolv: boolWant(true)},
+		{name: "starts-with on nset", query: `starts-with(//v, "x")`, boolv: boolWant(true)},
+		{name: "substring mid", query: `substring("hello", 2)`, str: strWant("ello")},
+		{name: "substring clamp", query: `substring("hello", 0, 2)`, str: strWant("h")},
+		{name: "string-length of nset", query: `string-length(//s)`, num: numWant(4)}, // strval(s1)="123x3"? see note
+		{name: "normalize-space", query: `normalize-space("  a  b ")`, str: strWant("a b")},
+		{name: "translate", query: `translate("abcabc", "abc", "AB")`, str: strWant("ABAB")},
+		{name: "substring-before missing", query: `substring-before("ab", "x")`, str: strWant("")},
+
+		// ---- id() ----
+		{name: "id simple", query: `id("t2")`, nodes: nodesWant("t2")},
+		{name: "id list", query: `id("t2 v1 nope")`, nodes: nodesWant("t2 v1")},
+		{name: "id of nset strvals", query: `id(//v[. = "x"])`, nodes: nodesWant("")},
+		{name: "id then steps", query: `id("u1")/v`, nodes: nodesWant("v1 v2")},
+		{name: "id in predicate", query: `//v[count(id("t1")) = 1]`, nodes: nodesWant("v1 v2")},
+
+		// ---- name()/local-name() ----
+		{name: "name of context", query: `name()`, context: "u1", str: strWant("u")},
+		{name: "name of first in set", query: `name(//v)`, str: strWant("v")},
+		{name: "local-name of root", query: `local-name(/)`, str: strWant("")},
+
+		// ---- not / true / false / lang ----
+		{name: "not of set", query: `not(//zzz)`, boolv: boolWant(true)},
+		{name: "lang without attr", query: `lang("en")`, context: "t1", boolv: boolWant(false)},
+
+		// ---- floor/ceiling/round ----
+		{name: "floor", query: `floor(2.9)`, num: numWant(2)},
+		{name: "ceiling negative", query: `ceiling(-2.1)`, num: numWant(-2)},
+		{name: "round half", query: `round(0.5)`, num: numWant(1)},
+		{name: "round neg half", query: `round(-0.5)`, num: numWant(0)},
+
+		// ---- Composites ----
+		{name: "count of union", query: `count(//t | //v)`, num: numWant(5)},
+		{name: "exists deep", query: `boolean(/r/s/u/v)`, boolv: boolWant(true)},
+		{name: "position in expression", query: `count(/r/s[position() != 2])`, num: numWant(2)},
+		{name: "nested count compare", query: `count(//s[count(t) > 1]) = 1`, boolv: boolWant(true)},
+		{name: "string-value of branch", query: `string(/r/s[2])`, str: strWant("2")},
+		{name: "chained steps with filters", query: `/r/s[1]/u/v[last()]`, nodes: nodesWant("v2")},
+		{name: "double slash after filter", query: `id("s1")//v`, nodes: nodesWant("v1 v2")},
+		{name: "abs path in predicate", query: `//v[/r/s]`, nodes: nodesWant("v1 v2")},
+		{name: "empty element strval", query: `string(//w) = ""`, boolv: boolWant(true)},
+	}
+}
+
+func TestSemanticsConformance(t *testing.T) {
+	doc, err := ParseDocumentString(semXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range semCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			q, err := Compile(c.query)
+			if err != nil {
+				t.Fatalf("compile %q: %v", c.query, err)
+			}
+			for _, eng := range allEngines {
+				opts := Options{Engine: eng}
+				if c.context != "" {
+					opts.ContextNode = doc.ByID(c.context)
+					if opts.ContextNode == nil {
+						t.Fatalf("no context node %q", c.context)
+					}
+				}
+				res, err := q.EvaluateWith(doc, opts)
+				if err != nil {
+					t.Fatalf("engine %v: %v", eng, err)
+				}
+				switch {
+				case c.nodes != nil:
+					var got []string
+					for _, n := range res.Nodes() {
+						id, _ := n.Attr("id")
+						got = append(got, id)
+					}
+					if strings.Join(got, " ") != *c.nodes {
+						t.Errorf("engine %v: %q = {%s}, want {%s}",
+							eng, c.query, strings.Join(got, " "), *c.nodes)
+					}
+				case c.num != nil:
+					got := res.Number()
+					if math.IsNaN(*c.num) != math.IsNaN(got) ||
+						(!math.IsNaN(got) && got != *c.num) {
+						t.Errorf("engine %v: %q = %v, want %v", eng, c.query, got, *c.num)
+					}
+				case c.str != nil:
+					if got := res.Text(); got != *c.str {
+						t.Errorf("engine %v: %q = %q, want %q", eng, c.query, got, *c.str)
+					}
+				case c.boolv != nil:
+					if got := res.Bool(); got != *c.boolv {
+						t.Errorf("engine %v: %q = %v, want %v", eng, c.query, got, *c.boolv)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSemanticsReverseAxisPositions pins down positional predicates on
+// every reverse axis: positions count in reverse document order (§2.1's
+// <doc,χ), which is the single most common XPath implementation mistake.
+func TestSemanticsReverseAxisPositions(t *testing.T) {
+	doc, err := ParseDocumentString(semXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []semCase{
+		{name: "preceding[1] is nearest", query: `preceding::*[1]`, context: "s2", nodes: nodesWant("v2")},
+		{name: "preceding[last()] is farthest", query: `preceding::*[last()]`, context: "s2", nodes: nodesWant("s1")},
+		{name: "ancestor[1] is parent", query: `ancestor::*[1]`, context: "v1", nodes: nodesWant("u1")},
+		{name: "ancestor[last()] is outermost element", query: `ancestor::*[last()]`, context: "v1", nodes: nodesWant("r")},
+		{name: "ancestor-or-self[1] is self", query: `ancestor-or-self::*[1]`, context: "v1", nodes: nodesWant("v1")},
+		{name: "preceding-sibling[position()<=2]", query: `preceding-sibling::*[position() <= 2]`, context: "u1", nodes: nodesWant("t1 t2")},
+		{name: "parent[1]", query: `parent::*[1]`, context: "t1", nodes: nodesWant("s1")},
+		// Mixed: reverse-axis predicate inside a forward path.
+		{name: "forward path reverse pred", query: `//u[preceding-sibling::*[1][self::t]]`, nodes: nodesWant("u1 u2")},
+		{name: "reverse then forward", query: `preceding::*[2]/following-sibling::*`, context: "s2", nodes: nodesWant("v2")},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			q, err := Compile(c.query)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, eng := range allEngines {
+				opts := Options{Engine: eng}
+				if c.context != "" {
+					opts.ContextNode = doc.ByID(c.context)
+				}
+				res, err := q.EvaluateWith(doc, opts)
+				if err != nil {
+					t.Fatalf("engine %v: %v", eng, err)
+				}
+				var got []string
+				for _, n := range res.Nodes() {
+					id, _ := n.Attr("id")
+					got = append(got, id)
+				}
+				if strings.Join(got, " ") != *c.nodes {
+					t.Errorf("engine %v: {%s}, want {%s}", eng, strings.Join(got, " "), *c.nodes)
+				}
+			}
+		})
+	}
+}

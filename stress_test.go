@@ -1,0 +1,215 @@
+package xpath
+
+// Stress and structural edge-case tests across all engines: deep recursion,
+// wide fans, id-axis chains, filter heads that consume the outer context
+// position, and top-level unions — shapes the conformance suite does not
+// reach.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDeepDocumentRecursion: a 600-deep chain must not overflow and the
+// ancestor/descendant axes must agree across engines. (E↑ is excluded: its
+// |D|³ tables are the point of experiment E7, not of this test.)
+func TestDeepDocumentRecursion(t *testing.T) {
+	doc := WrapTree(workload.DeepChain(600))
+	for _, src := range []string{
+		`count(//a/ancestor::*)`,
+		`//b[not(child::node())]`,
+		`count(/descendant::*[last()])`,
+		`string-length(string(//c)) > 0`,
+	} {
+		q := MustCompile(src)
+		ref, err := q.EvaluateWith(doc, Options{Engine: EngineTopDown})
+		if err != nil {
+			t.Fatalf("topdown %q: %v", src, err)
+		}
+		for _, eng := range []Engine{EngineOptMinContext, EngineMinContext} {
+			got, err := q.EvaluateWith(doc, Options{Engine: eng})
+			if err != nil {
+				t.Fatalf("%v %q: %v", eng, src, err)
+			}
+			if got.Text() != ref.Text() {
+				t.Errorf("%v on %q: %q vs %q", eng, src, got.Text(), ref.Text())
+			}
+		}
+	}
+}
+
+// TestWideFanPositions: position/size semantics on a 500-sibling fan.
+func TestWideFanPositions(t *testing.T) {
+	doc := WrapTree(workload.WideFan(500))
+	q := MustCompile(`/a/*[position() = last() - 1]`)
+	for _, eng := range []Engine{EngineOptMinContext, EngineMinContext, EngineTopDown} {
+		res, err := q.EvaluateWith(doc, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := res.Nodes()
+		if len(nodes) != 1 || nodes[0].Pre() != doc.Size()-1 {
+			t.Errorf("%v: %v", eng, nodes)
+		}
+	}
+}
+
+// TestIDChains: chained id() dereferences (the id-axis of §4) across
+// engines, including inside predicates.
+func TestIDChains(t *testing.T) {
+	// n1 → "n2", n2 → "n3 n4", n3/n4 leaves.
+	doc, err := ParseDocumentString(
+		`<g id="g"><n id="n1">n2</n><n id="n2">n3 n4</n><n id="n3">x</n><n id="n4">y</n></g>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		`id("n1")`:            "n1",
+		`id(id("n1"))`:        "n2",
+		`id(id(id("n1")))`:    "n3 n4",
+		`id("n1 n2")/self::n`: "n1 n2",
+		`//n[id("n2")]`:       "n1 n2 n3 n4", // nonempty id() ⇒ predicate true everywhere
+		`//n[. = "x"]/preceding-sibling::n[id(string(.))]`: "n1 n2",
+	}
+	for src, want := range cases {
+		q := MustCompile(src)
+		for _, eng := range allEngines {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng})
+			if err != nil {
+				t.Fatalf("%v on %q: %v", eng, src, err)
+			}
+			var ids []string
+			for _, n := range res.Nodes() {
+				id, _ := n.Attr("id")
+				ids = append(ids, id)
+			}
+			if got := strings.Join(ids, " "); got != want {
+				t.Errorf("%v on %q: {%s}, want {%s}", eng, src, got, want)
+			}
+		}
+	}
+}
+
+// TestFilterHeadWithOuterPosition: a path whose filter head consumes the
+// outer context position — the construct that forces pathForSingleContext
+// in MINCONTEXT (Relev(path) ⊇ {cp}).
+func TestFilterHeadWithOuterPosition(t *testing.T) {
+	doc, err := ParseDocumentString(
+		`<g><n id="p1">one</n><n id="p2">two</n><n id="p3">three</n></g>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id(concat("p", string(position()))) resolves to a different node per
+	// context position.
+	q := MustCompile(`id(concat("p", string(position())))`)
+	for pos := 1; pos <= 3; pos++ {
+		want := fmt.Sprintf("p%d", pos)
+		for _, eng := range []Engine{EngineOptMinContext, EngineMinContext, EngineTopDown, EngineNaive} {
+			res, err := q.EvaluateWith(doc, Options{Engine: eng, Position: pos, Size: 3})
+			if err != nil {
+				t.Fatalf("%v: %v", eng, err)
+			}
+			nodes := res.Nodes()
+			if len(nodes) != 1 {
+				t.Fatalf("%v pos=%d: %d nodes", eng, pos, len(nodes))
+			}
+			if id, _ := nodes[0].Attr("id"); id != want {
+				t.Errorf("%v pos=%d: %s, want %s", eng, pos, id, want)
+			}
+		}
+	}
+	// The same construct with a step tail.
+	q2 := MustCompile(`id(concat("p", string(position())))/self::n`)
+	res, err := q2.EvaluateWith(doc, Options{Engine: EngineMinContext, Position: 2, Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes()) != 1 || res.Nodes()[0].StringValue() != "two" {
+		t.Errorf("filter head with steps: %v", res)
+	}
+}
+
+// TestTopLevelUnions: unions at the outermost level, including mixed
+// absolute/relative members and nested predicates.
+func TestTopLevelUnions(t *testing.T) {
+	doc := figure2Doc(t)
+	cases := map[string]string{
+		`//c | //d`:                          "x12 x13 x14 x22 x23 x24",
+		`/child::a | //b[last()]`:            "x10 x21",
+		`//c[1] | //d[last()]`:               "x12 x14 x22 x24",
+		`//b/c | //b/d | /descendant::a/b/c`: "x12 x13 x14 x22 x23 x24",
+	}
+	for src, want := range cases {
+		for _, eng := range allEngines {
+			if got := evalNodes(t, doc, src, eng); got != want {
+				t.Errorf("%v on %q: {%s}, want {%s}", eng, src, got, want)
+			}
+		}
+	}
+}
+
+// TestManyPredicates: long predicate chains apply strictly left to right.
+func TestManyPredicates(t *testing.T) {
+	doc := WrapTree(workload.WideFan(40))
+	src := `/a/*` + strings.Repeat(`[position() != 1]`, 10) + `[1]`
+	q := MustCompile(src)
+	for _, eng := range allEngines {
+		res, err := q.EvaluateWith(doc, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := res.Nodes()
+		if len(nodes) != 1 || nodes[0].Pre() != 12 {
+			t.Errorf("%v: got %d nodes, first pre %d (want pre 12)",
+				eng, len(nodes), nodes[0].Pre())
+		}
+	}
+}
+
+// TestLongStepChains: fifty chained child steps on a deep chain.
+func TestLongStepChains(t *testing.T) {
+	doc := WrapTree(workload.DeepChain(120))
+	src := "/*" + strings.Repeat("/*", 49) // 50 steps
+	q := MustCompile(src)
+	for _, eng := range allEngines {
+		res, err := q.EvaluateWith(doc, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Nodes()) != 1 || res.Nodes()[0].Pre() != 50 {
+			t.Errorf("%v: %v", eng, res)
+		}
+	}
+}
+
+// TestEmptyDocumentEdge: a single-element document exercises the |dom|=1
+// boundary of every engine.
+func TestEmptyDocumentEdge(t *testing.T) {
+	doc, err := ParseDocumentString(`<only/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		`count(//only)`:           "1",
+		`count(//only/..)`:        "1", // parent::node() matches the document root
+		`count(//only/parent::*)`: "0", // but '*' excludes it (not in dom)
+		`count(/self::node())`:    "1",
+		`boolean(//only[last()])`: "true",
+		`string(//only)`:          "",
+	}
+	for src, want := range cases {
+		for _, eng := range allEngines {
+			q := MustCompile(src)
+			res, err := q.EvaluateWith(doc, Options{Engine: eng})
+			if err != nil {
+				t.Fatalf("%v on %q: %v", eng, src, err)
+			}
+			if got := res.Text(); got != want {
+				t.Errorf("%v on %q = %q, want %q", eng, src, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package xpath is a complete, stdlib-only XPath 1.0 query engine
+// implementing the evaluation algorithms of Gottlob, Koch and Pichler,
+// "XPath Query Evaluation: Improving Time and Space Efficiency" (ICDE
+// 2003), together with the baselines they improve on.
+//
+// Six interchangeable evaluation engines are provided:
+//
+//	OptMinContext  — Algorithm 8 (the paper's recommended processor; default)
+//	MinContext     — Algorithm 6, Theorem 7 bounds
+//	TopDown        — the E↓ semantics of Definition 2 ([11])
+//	BottomUp       — the strict context-value-table E↑ ([11])
+//	CoreXPath      — linear-time engine for the Core XPath fragment
+//	Naive          — the exponential-time strategy of pre-2002 processors
+//
+// All engines implement the same semantics (XPath 1.0, minus the attribute
+// and namespace axes the paper's data model excludes) and can be compared
+// on any query; see EXPERIMENTS.md for the reproduced complexity behavior.
+//
+// # Quick start
+//
+//	doc, _ := xpath.ParseDocument(strings.NewReader(`<a><b/><b/></a>`))
+//	q, _ := xpath.Compile(`/child::a/child::b[position() = last()]`)
+//	res, _ := q.Evaluate(doc)
+//	for _, n := range res.Nodes() {
+//	    fmt.Println(n.Label())
+//	}
+package xpath
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bottomup"
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/syntax"
+	"repro/internal/topdown"
+	"repro/internal/values"
+	"repro/internal/xmltree"
+)
+
+// Engine selects one of the evaluation algorithms.
+type Engine int
+
+// The available engines. EngineAuto uses OPTMINCONTEXT, the paper's
+// combined processor, which adheres to the best known bound for whatever
+// fragment each subexpression falls into.
+const (
+	EngineAuto Engine = iota
+	EngineOptMinContext
+	EngineMinContext
+	EngineTopDown
+	EngineBottomUp
+	EngineCoreXPath
+	EngineNaive
+)
+
+var engineNames = map[Engine]string{
+	EngineAuto: "auto", EngineOptMinContext: "optmincontext",
+	EngineMinContext: "mincontext", EngineTopDown: "topdown",
+	EngineBottomUp: "bottomup", EngineCoreXPath: "corexpath",
+	EngineNaive: "naive",
+}
+
+// String returns the engine's CLI name.
+func (e Engine) String() string {
+	if n, ok := engineNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// EngineByName resolves a CLI engine name; ok is false for unknown names.
+func EngineByName(name string) (Engine, bool) {
+	for e, n := range engineNames {
+		if n == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// Engines lists every selectable engine (excluding the Auto alias), for
+// differential tests and benchmarks.
+func Engines() []Engine {
+	return []Engine{EngineOptMinContext, EngineMinContext, EngineTopDown,
+		EngineBottomUp, EngineCoreXPath, EngineNaive}
+}
+
+func (e Engine) impl() engine.Engine {
+	switch e {
+	case EngineAuto, EngineOptMinContext:
+		return core.NewOptMinContext()
+	case EngineMinContext:
+		return core.NewMinContext()
+	case EngineTopDown:
+		return topdown.New()
+	case EngineBottomUp:
+		return bottomup.New()
+	case EngineCoreXPath:
+		return corexpath.New()
+	case EngineNaive:
+		return naive.New()
+	}
+	panic("xpath: unknown engine")
+}
+
+// Fragment mirrors the paper's query classification.
+type Fragment int
+
+// Fragment values, from most to least restrictive.
+const (
+	// CoreXPath is the fragment of Definition 12: evaluable in O(|D|·|Q|).
+	CoreXPath Fragment = iota
+	// ExtendedWadler is the fragment of Section 4 (Restrictions 1–3):
+	// evaluable in O(|D|²·|Q|²) time and O(|D|·|Q|²) space.
+	ExtendedWadler
+	// FullXPath is everything else: Theorem 7 bounds apply.
+	FullXPath
+)
+
+// String names the fragment.
+func (f Fragment) String() string {
+	return [...]string{"core-xpath", "extended-wadler", "full-xpath"}[f]
+}
+
+// Document is a parsed, immutable XML document.
+type Document struct {
+	tree *xmltree.Document
+}
+
+// ParseDocument reads an XML document. Comments and processing
+// instructions are skipped; attributes are kept as data (the paper's data
+// model has no attribute axis), with the "id" attribute feeding id().
+func ParseDocument(r io.Reader) (*Document, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// ParseDocumentString parses an XML document held in a string.
+func ParseDocumentString(s string) (*Document, error) {
+	t, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// Size returns |dom|: the number of element nodes.
+func (d *Document) Size() int { return d.tree.Size() }
+
+// Root returns the document root node (the node addressed by "/").
+func (d *Document) Root() *Node { return wrapNode(d.tree.Root()) }
+
+// ByID returns the element whose id attribute equals the key, or nil.
+func (d *Document) ByID(id string) *Node { return wrapNode(d.tree.ByID(id)) }
+
+// XML serializes the document back to XML.
+func (d *Document) XML() string { return d.tree.XMLString() }
+
+// Tree exposes the underlying tree to sibling packages of this module (the
+// benchmark harness); external users should not need it.
+func (d *Document) Tree() *xmltree.Document { return d.tree }
+
+// WrapTree wraps an internally built document (used by the workload
+// generators and the benchmark harness).
+func WrapTree(t *xmltree.Document) *Document { return &Document{tree: t} }
+
+// Node is one node of a document.
+type Node struct {
+	n *xmltree.Node
+}
+
+func wrapNode(n *xmltree.Node) *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{n: n}
+}
+
+// Label returns the node's tag name ("" for the document root).
+func (n *Node) Label() string { return n.n.Label() }
+
+// StringValue returns strval(n): the concatenated character data of the
+// node's subtree.
+func (n *Node) StringValue() string { return n.n.StringValue() }
+
+// Parent returns the parent node, or nil for the document root.
+func (n *Node) Parent() *Node { return wrapNode(n.n.Parent()) }
+
+// Children returns the element children in document order.
+func (n *Node) Children() []*Node {
+	kids := n.n.Children()
+	out := make([]*Node, len(kids))
+	for i, k := range kids {
+		out[i] = wrapNode(k)
+	}
+	return out
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) { return n.n.Attr(name) }
+
+// IsRoot reports whether this is the document root.
+func (n *Node) IsRoot() bool { return n.n.IsRoot() }
+
+// Pre returns the node's document-order index (root = 0).
+func (n *Node) Pre() int { return n.n.Pre() }
+
+// String renders the node as label plus id attribute when present.
+func (n *Node) String() string {
+	if n.IsRoot() {
+		return "/"
+	}
+	if id, ok := n.Attr("id"); ok {
+		return n.Label() + "#" + id
+	}
+	return n.Label()
+}
+
+// Query is a compiled XPath 1.0 expression.
+type Query struct {
+	q *syntax.Query
+}
+
+// Compile parses, normalizes and analyzes an XPath 1.0 expression.
+func Compile(src string) (*Query, error) {
+	q, err := syntax.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// MustCompile is Compile for known-good expressions; it panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// CompileWithVars compiles with an input variable binding (§2.2 replaces
+// each variable by the constant value of its binding).
+func CompileWithVars(src string, vars map[string]Var) (*Query, error) {
+	m := make(map[string]syntax.VarBinding, len(vars))
+	for k, v := range vars {
+		m[k] = v.b
+	}
+	q, err := syntax.CompileWithVars(src, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Var is a scalar variable binding.
+type Var struct{ b syntax.VarBinding }
+
+// NumberVar binds a number.
+func NumberVar(v float64) Var { return Var{b: syntax.NumberVar(v)} }
+
+// StringVar binds a string.
+func StringVar(s string) Var { return Var{b: syntax.StringVar(s)} }
+
+// BoolVar binds a boolean.
+func BoolVar(v bool) Var { return Var{b: syntax.BoolVar(v)} }
+
+// String returns the normalized (unabbreviated, explicitly converted) form
+// of the query.
+func (q *Query) String() string { return q.q.Root.String() }
+
+// Source returns the original expression text.
+func (q *Query) Source() string { return q.q.Source }
+
+// Size returns |Q|: the number of parse-tree nodes after normalization.
+func (q *Query) Size() int { return q.q.Size() }
+
+// Fragment returns the query's fragment classification.
+func (q *Query) Fragment() Fragment {
+	switch q.q.Fragment {
+	case syntax.FragmentCoreXPath:
+		return CoreXPath
+	case syntax.FragmentExtendedWadler:
+		return ExtendedWadler
+	}
+	return FullXPath
+}
+
+// Internal exposes the compiled query to sibling packages of this module.
+func (q *Query) Internal() *syntax.Query { return q.q }
+
+// Options configures one evaluation.
+type Options struct {
+	// Engine selects the evaluation algorithm (default: OPTMINCONTEXT).
+	Engine Engine
+	// ContextNode evaluates relative to this node (default: document root).
+	ContextNode *Node
+	// Position and Size set the context position/size (default 1, 1).
+	Position, Size int
+}
+
+// Stats reports the instrumentation counters of one evaluation; see
+// EXPERIMENTS.md for how they back the paper's space theorems.
+type Stats struct {
+	// TableCells counts context-value table cells written.
+	TableCells int64
+	// ContextsEvaluated counts single-context expression evaluations.
+	ContextsEvaluated int64
+	// AxisCalls counts set-at-a-time axis function applications.
+	AxisCalls int64
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	v     values.Value
+	stats Stats
+}
+
+// Evaluate runs the query against a document with default options.
+func (q *Query) Evaluate(doc *Document) (*Result, error) {
+	return q.EvaluateWith(doc, Options{})
+}
+
+// EvaluateWith runs the query with explicit options.
+func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
+	ctx := engine.Context{Node: doc.tree.Root(), Pos: 1, Size: 1}
+	if opts.ContextNode != nil {
+		if opts.ContextNode.n.Document() != doc.tree {
+			return nil, fmt.Errorf("xpath: context node belongs to a different document")
+		}
+		ctx.Node = opts.ContextNode.n
+	}
+	if opts.Position > 0 {
+		ctx.Pos = opts.Position
+	}
+	if opts.Size > 0 {
+		ctx.Size = opts.Size
+	}
+	if ctx.Pos > ctx.Size {
+		return nil, fmt.Errorf("xpath: context position %d exceeds context size %d", ctx.Pos, ctx.Size)
+	}
+	v, st, err := opts.Engine.impl().Evaluate(q.q, doc.tree, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{v: v, stats: Stats{
+		TableCells:        st.TableCells,
+		ContextsEvaluated: st.ContextsEvaluated,
+		AxisCalls:         st.AxisCalls,
+	}}, nil
+}
+
+// IsNodeSet reports whether the result is a node set.
+func (r *Result) IsNodeSet() bool { return r.v.T == values.KindNodeSet }
+
+// Nodes returns the resulting node set in document order (nil for scalar
+// results).
+func (r *Result) Nodes() []*Node {
+	if r.v.T != values.KindNodeSet {
+		return nil
+	}
+	raw := r.v.Set.Nodes()
+	out := make([]*Node, len(raw))
+	for i, n := range raw {
+		out[i] = wrapNode(n)
+	}
+	return out
+}
+
+// Number returns the result converted to a number (F[[number]]).
+func (r *Result) Number() float64 { return values.ToNumber(r.v) }
+
+// Text returns the result converted to a string (F[[string]]).
+func (r *Result) Text() string { return values.ToString(r.v) }
+
+// Bool returns the result converted to a boolean (F[[boolean]]).
+func (r *Result) Bool() bool { return values.ToBool(r.v) }
+
+// Stats returns the evaluation's instrumentation counters.
+func (r *Result) Stats() Stats { return r.stats }
+
+// String renders the result: node sets in the paper's {x11, x12} notation,
+// scalars via their XPath string conversion.
+func (r *Result) String() string { return values.Render(r.v) }
+
+// WriteSnapshot serializes the document into the compact binary snapshot
+// format of internal/xmltree: labels interned, tree as a preorder event
+// stream. LoadSnapshot restores it — including all evaluation indexes —
+// without re-parsing XML, which is the preparation step for the
+// database-resident usage the paper's conclusion anticipates.
+func (d *Document) WriteSnapshot(w io.Writer) error { return d.tree.WriteSnapshot(w) }
+
+// LoadSnapshot reads a document snapshot written by WriteSnapshot.
+func LoadSnapshot(r io.Reader) (*Document, error) {
+	t, err := xmltree.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
