@@ -158,6 +158,49 @@ func BenchmarkE12AblationOutermost(b *testing.B) {
 	}
 }
 
+// BenchmarkE14CompiledVsInterpreted — compiled plans vs. interpretation on
+// repeated workload traffic: the same precompiled query evaluated over and
+// over, the serving scenario the plan cache targets. Compiled evaluation
+// must beat OPTMINCONTEXT wall-clock on the Core XPath workload queries.
+func BenchmarkE14CompiledVsInterpreted(b *testing.B) {
+	queries := map[string]string{
+		"core1":    workload.CoreQueries()[0],
+		"core4":    workload.CoreQueries()[3],
+		"wadler1":  workload.WadlerQueries()[0],
+		"position": workload.PositionHeavy(),
+	}
+	for _, n := range []int{100, 400} {
+		doc := workload.Scaled(n)
+		for qname, src := range queries {
+			for _, eng := range []Engine{EngineCompiled, EngineOptMinContext} {
+				b.Run(fmt.Sprintf("%s/D=%d/%s", qname, n, eng), func(b *testing.B) {
+					benchEval(b, public(eng), src, doc)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCompileCached measures the source-keyed query cache against cold
+// compilation (parse + normalize + analyze + plan per call).
+func BenchmarkCompileCached(b *testing.B) {
+	src := workload.PositionHeavy()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CompileCached(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSubstrates measures the building blocks: XML parsing, axis
 // functions, and query compilation.
 func BenchmarkSubstrates(b *testing.B) {

@@ -5,9 +5,10 @@
 //	cat doc.xml | xpath '/descendant::d'
 //
 // The -stats flag prints the engine's instrumentation counters (table
-// cells, single-context evaluations, axis calls) after the result, and
+// cells, single-context evaluations, axis calls) after the result,
 // -fragment prints the query's fragment classification (Core XPath /
-// Extended Wadler / full XPath 1.0).
+// Extended Wadler / full XPath 1.0), and -explain prints both the
+// OPTMINCONTEXT evaluation plan and the EngineCompiled instruction listing.
 package main
 
 import (
@@ -22,13 +23,13 @@ import (
 
 func main() {
 	var (
-		engineName = flag.String("engine", "auto", "evaluation engine: auto|optmincontext|mincontext|topdown|bottomup|corexpath|naive")
+		engineName = flag.String("engine", "auto", "evaluation engine: auto|optmincontext|mincontext|topdown|bottomup|corexpath|naive|compiled")
 		file       = flag.String("file", "", "XML document (default: stdin)")
 		contextID  = flag.String("context", "", "id attribute of the context node (default: document root)")
 		stats      = flag.Bool("stats", false, "print evaluation statistics")
 		fragment   = flag.Bool("fragment", false, "print the query's fragment classification")
 		normalized = flag.Bool("normalized", false, "print the normalized (unabbreviated) query")
-		explain    = flag.Bool("explain", false, "print the OPTMINCONTEXT evaluation plan")
+		explain    = flag.Bool("explain", false, "print the OPTMINCONTEXT evaluation plan and the compiled instruction listing")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xpath [flags] <query>\n\nFlags:\n")
@@ -77,6 +78,7 @@ func run(querySrc, engineName, file, contextID string, stats, fragment, normaliz
 	}
 	if explain {
 		fmt.Print(q.Explain())
+		fmt.Print(q.ExplainPlan())
 	}
 
 	opts := xpath.Options{Engine: eng}

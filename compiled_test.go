@@ -1,0 +1,96 @@
+package xpath
+
+// Public-API tests for the compiled engine: engine selection, the
+// source-keyed query cache, and the plan disassembly surface.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestEngineCompiledSelectable: the compiled engine resolves by name and
+// participates in Engines().
+func TestEngineCompiledSelectable(t *testing.T) {
+	e, ok := EngineByName("compiled")
+	if !ok || e != EngineCompiled {
+		t.Fatalf("EngineByName(compiled) = %v, %v", e, ok)
+	}
+	found := false
+	for _, have := range Engines() {
+		if have == EngineCompiled {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EngineCompiled missing from Engines()")
+	}
+}
+
+// TestCompileCached: cache hits return queries that evaluate identically to
+// cold compiles, on every engine.
+func TestCompileCached(t *testing.T) {
+	doc := WrapTree(workload.Scaled(60))
+	src := `/descendant::b[child::d]/child::c[position() = last()]`
+	cold := MustCompile(src)
+	q1, err := CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Internal() != q2.Internal() {
+		t.Error("CompileCached did not reuse the cached compilation")
+	}
+	for _, eng := range []Engine{EngineCompiled, EngineOptMinContext} {
+		want, err := cold.EvaluateWith(doc, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q1.EvaluateWith(doc, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids(want.Nodes()) != ids(got.Nodes()) {
+			t.Errorf("%v: cached %s != cold %s", eng, ids(got.Nodes()), ids(want.Nodes()))
+		}
+	}
+	if _, err := CompileCached(`//a[`); err == nil {
+		t.Error("invalid query must fail through the cache too")
+	}
+}
+
+// TestExplainPlan: the disassembly surfaces the instruction listing.
+func TestExplainPlan(t *testing.T) {
+	out := MustCompile(`/descendant::b[child::d]/child::c[2]`).ExplainPlan()
+	for _, want := range []string{"plan:", "(main)", "stepinv", "stepsel", "return"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainPlan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompiledContextOptions: explicit context node/position/size flow into
+// the compiled program's outer frame.
+func TestCompiledContextOptions(t *testing.T) {
+	doc := figure2Doc(t)
+	q := MustCompile(`position() + last()`)
+	res, err := q.EvaluateWith(doc, Options{Engine: EngineCompiled, Position: 2, Size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Number() != 7 {
+		t.Errorf("position()+last() = %v, want 7", res.Number())
+	}
+	q2 := MustCompile(`child::c`)
+	res2, err := q2.EvaluateWith(doc, Options{Engine: EngineCompiled, ContextNode: doc.ByID("11")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ids(res2.Nodes()); got != "x12 x13" {
+		t.Errorf("child::c from x11 = {%s}", got)
+	}
+}

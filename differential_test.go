@@ -34,7 +34,7 @@ func agree(t *testing.T, doc *Document, src string, cnID string) {
 	if err != nil {
 		t.Fatalf("topdown on %q: %v", src, err)
 	}
-	engines := []Engine{EngineOptMinContext, EngineMinContext, EngineBottomUp, EngineNaive}
+	engines := []Engine{EngineOptMinContext, EngineMinContext, EngineBottomUp, EngineNaive, EngineCompiled}
 	if q.Fragment() == CoreXPath {
 		engines = append(engines, EngineCoreXPath)
 	}
@@ -149,12 +149,19 @@ func TestDifferentialRandom(t *testing.T) {
 }
 
 // TestDifferentialPaperWorkloads runs the named benchmark query families
-// through the agreement check on the scaled documents.
+// through the agreement check on the scaled documents. Short mode shrinks
+// the documents: the naive engine's superpolynomial growth dominates the
+// full-size sweep, and the coverage (every query family × every document
+// shape × every engine) is size-independent.
 func TestDifferentialPaperWorkloads(t *testing.T) {
+	scaled, deep, fan := 80, 40, 60
+	if testing.Short() {
+		scaled, deep, fan = 30, 16, 24
+	}
 	docs := map[string]*Document{
-		"scaled":  WrapTree(workload.Scaled(80)),
-		"deep":    WrapTree(workload.DeepChain(40)),
-		"widefan": WrapTree(workload.WideFan(60)),
+		"scaled":  WrapTree(workload.Scaled(scaled)),
+		"deep":    WrapTree(workload.DeepChain(deep)),
+		"widefan": WrapTree(workload.WideFan(fan)),
 	}
 	var queries []string
 	queries = append(queries, workload.WadlerQueries()...)

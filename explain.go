@@ -62,3 +62,15 @@ func (q *Query) Explain() string {
 }
 
 func opName(op syntax.BinOp) string { return op.String() }
+
+// ExplainPlan returns the EngineCompiled instruction listing for the query:
+// the disassembly of the flat register-VM program internal/plan lowers the
+// normalized tree into. Like Explain, the output is meant for humans (the
+// CLI's -explain flag) and its exact format is not part of the API contract.
+func (q *Query) ExplainPlan() string {
+	p, err := compiledEngine.Plan(q.q)
+	if err != nil {
+		return fmt.Sprintf("plan: compile error: %v\n", err)
+	}
+	return p.Disasm()
+}

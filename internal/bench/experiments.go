@@ -11,6 +11,7 @@ import (
 	"repro/internal/corexpath"
 	"repro/internal/engine"
 	"repro/internal/naive"
+	"repro/internal/plan"
 	"repro/internal/syntax"
 	"repro/internal/topdown"
 	"repro/internal/values"
@@ -360,6 +361,62 @@ func E13(cfg Config) *Table {
 	return t
 }
 
+// E14 measures compiled-plan execution against interpretation: the same
+// repeated workload queries on the same documents, evaluated by the
+// register-VM engine of internal/plan, by OPTMINCONTEXT, and (on Core XPath
+// queries) by the dedicated linear engine. The per-query compile happens
+// once, outside the timed loop — the serving scenario the plan cache
+// targets.
+func E14(cfg Config) []*Table {
+	cfg = cfg.Defaults()
+	queries := []string{
+		workload.CoreQueries()[0],
+		workload.CoreQueries()[3],
+		workload.WadlerQueries()[0],
+		workload.PositionHeavy(),
+	}
+	compiled := plan.New()
+	var out []*Table
+	for _, src := range queries {
+		q := mustCompile(src)
+		if _, err := compiled.Plan(q); err != nil { // compile outside the timed loop
+			panic(fmt.Sprintf("bench: plan %q: %v", src, err))
+		}
+		cols := []string{"compiled", "optmincontext"}
+		engines := map[string]engine.Engine{
+			"compiled": compiled, "optmincontext": core.NewOptMinContext(),
+		}
+		if q.Fragment == syntax.FragmentCoreXPath {
+			cols = append(cols, "corexpath")
+			engines["corexpath"] = corexpath.New()
+		}
+		t := NewTable(
+			"E14 — compiled plans vs. interpretation",
+			"query: "+src+"; metric: wall time (plan compiled once, reused)",
+			"|D|", "time", cfg.Sizes, cols)
+		times := map[string][]float64{}
+		for row, n := range cfg.Sizes {
+			doc := workload.Scaled(n)
+			for _, col := range cols {
+				m := Run(engines[col], q, doc, cfg.Reps)
+				if m.Err != nil {
+					t.Set(col, row, "n/a")
+					continue
+				}
+				t.SetDuration(col, row, m.Time)
+				times[col] = append(times[col], float64(m.Time))
+			}
+		}
+		for _, col := range cols {
+			if len(times[col]) == len(cfg.Sizes) {
+				t.Fit(col, times[col])
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
 // RunAll executes every experiment and prints the tables.
 func RunAll(w io.Writer, cfg Config) {
 	start := time.Now()
@@ -376,5 +433,8 @@ func RunAll(w io.Writer, cfg Config) {
 	E11(cfg).Print(w)
 	E12(cfg).Print(w)
 	E13(cfg).Print(w)
+	for _, t := range E14(cfg) {
+		t.Print(w)
+	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"sync"
+
+	"repro/internal/syntax"
+)
+
+// planCache maps compiled queries to their programs. Keys are *syntax.Query
+// pointers: a query object is immutable after syntax.Compile, so pointer
+// identity is a sound (and collision-free) cache key even when two queries
+// share source text but were compiled with different variable bindings.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[*syntax.Query]*Program
+}
+
+// maxCachedPlans bounds the pointer-keyed cache; beyond it, an arbitrary
+// entry is evicted (plans are cheap to recompile, the bound only prevents
+// unbounded growth under churning ad-hoc queries).
+const maxCachedPlans = 1024
+
+func (c *planCache) get(q *syntax.Query) (*Program, error) {
+	c.mu.RLock()
+	p := c.m[q]
+	c.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	c.put(q, p)
+	return p, nil
+}
+
+func (c *planCache) put(q *syntax.Query, p *Program) {
+	// Fast path for repeated traffic (CompileCached primes on every call):
+	// a read lock suffices to see the entry is already there.
+	c.mu.RLock()
+	_, present := c.m[q]
+	c.mu.RUnlock()
+	if present {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[*syntax.Query]*Program)
+	}
+	if _, ok := c.m[q]; ok {
+		return // first store wins; concurrent compiles produce equal programs
+	}
+	if len(c.m) >= maxCachedPlans {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[q] = p
+}
+
+// CachedQuery is one entry of a SourceCache: the analyzed syntax tree and
+// its compiled program.
+type CachedQuery struct {
+	Query *syntax.Query
+	Prog  *Program
+}
+
+// SourceCache is a concurrency-safe compiled-plan cache keyed by query
+// source text: repeated traffic for the same query string skips lexing,
+// parsing, normalization, the Relev/fragment analyses and plan compilation
+// entirely. Entries are immutable and shared; concurrent lookups of the
+// same source converge on one entry.
+//
+// Sources compiled with variable bindings must not go through a
+// SourceCache (the bindings are substituted into the tree, so source text
+// alone does not identify the query).
+type SourceCache struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]*CachedQuery
+}
+
+// NewSourceCache returns a cache bounded to roughly capacity entries
+// (capacity <= 0 means a default of 1024).
+func NewSourceCache(capacity int) *SourceCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &SourceCache{cap: capacity, m: make(map[string]*CachedQuery)}
+}
+
+// Get returns the cached compilation of src, compiling and caching on a
+// miss.
+func (c *SourceCache) Get(src string) (*CachedQuery, error) {
+	c.mu.RLock()
+	e := c.m[src]
+	c.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	q, err := syntax.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	fresh := &CachedQuery{Query: q, Prog: p}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.m[src]; e != nil {
+		return e, nil // a concurrent miss won the race; converge on it
+	}
+	if len(c.m) >= c.cap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[src] = fresh
+	return fresh, nil
+}
+
+// Len returns the number of cached entries.
+func (c *SourceCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

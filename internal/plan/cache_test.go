@@ -1,0 +1,137 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+// TestSourceCacheProperty: for every query in the workload matrix, a
+// SourceCache hit must return the same entry as the first miss, and
+// evaluating the cached plan must produce exactly the result of a cold
+// compile — the plan-cache correctness property of EXPERIMENTS.md §E14.
+func TestSourceCacheProperty(t *testing.T) {
+	cache := NewSourceCache(0)
+	doc := workload.Scaled(80)
+	eng := New()
+	for _, src := range workloadQueries() {
+		cold, err := cache.Get(src)
+		if err != nil {
+			t.Fatalf("cold Get(%q): %v", src, err)
+		}
+		warm, err := cache.Get(src)
+		if err != nil {
+			t.Fatalf("warm Get(%q): %v", src, err)
+		}
+		if warm != cold {
+			t.Errorf("%q: cache hit returned a different entry", src)
+		}
+		eng.Prime(cold.Query, cold.Prog)
+		got, _, err := eng.Evaluate(cold.Query, doc, engine.RootContext(doc))
+		if err != nil {
+			t.Fatalf("cached eval %q: %v", src, err)
+		}
+		freshQ := mustCompileQuery(t, src)
+		want, _, err := New().Evaluate(freshQ, doc, engine.RootContext(doc))
+		if err != nil {
+			t.Fatalf("cold eval %q: %v", src, err)
+		}
+		if !values.Equal(got, want) {
+			t.Errorf("%q: cached result %s != cold result %s",
+				src, values.Render(got), values.Render(want))
+		}
+	}
+}
+
+// TestSourceCacheConcurrent: concurrent misses for the same source converge
+// on one entry; the cache never returns an error or a divergent plan under
+// contention.
+func TestSourceCacheConcurrent(t *testing.T) {
+	cache := NewSourceCache(64)
+	const goroutines = 16
+	srcs := workloadQueries()
+	var wg sync.WaitGroup
+	entries := make([][]*CachedQuery, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			entries[g] = make([]*CachedQuery, len(srcs))
+			for i, src := range srcs {
+				e, err := cache.Get(src)
+				if err != nil {
+					t.Errorf("Get(%q): %v", src, err)
+					return
+				}
+				entries[g][i] = e
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range srcs {
+		for g := 1; g < goroutines; g++ {
+			if entries[g][i] != entries[0][i] {
+				t.Errorf("%q: goroutines saw different cache entries", srcs[i])
+			}
+		}
+	}
+}
+
+// TestSourceCacheBound: the cache stays within its capacity under churn.
+func TestSourceCacheBound(t *testing.T) {
+	cache := NewSourceCache(8)
+	for i := 0; i < 50; i++ {
+		if _, err := cache.Get(fmt.Sprintf(`/child::a[%d]`, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.Len(); n > 8 {
+		t.Errorf("cache grew to %d entries, cap 8", n)
+	}
+}
+
+// TestSourceCacheError: invalid queries are not cached and keep failing.
+func TestSourceCacheError(t *testing.T) {
+	cache := NewSourceCache(8)
+	if _, err := cache.Get(`//a[`); err == nil {
+		t.Fatal("invalid query must fail")
+	}
+	if cache.Len() != 0 {
+		t.Error("failed compile was cached")
+	}
+}
+
+// TestConcurrentEvaluation: one engine, one plan, many goroutines — the VM
+// pool must hand out independent machines.
+func TestConcurrentEvaluation(t *testing.T) {
+	e := New()
+	doc := workload.Scaled(120)
+	q := mustCompileQuery(t, `/descendant::b[child::d]/child::c[position() = last()]`)
+	want, _, err := e.Evaluate(q, doc, engine.RootContext(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				got, _, err := e.Evaluate(q, doc, engine.RootContext(doc))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !values.Equal(got, want) {
+					t.Errorf("concurrent run diverged: %s", values.Render(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,244 @@
+package plan
+
+// Satisfaction-set compilation: the compile-time counterpart of the paper's
+// Algorithm 8 backward propagation. A position-independent predicate that is
+// an and/or/not combination of
+//
+//   - location-path existence tests (Definition 12's Core XPath predicates,
+//     possibly via an explicit boolean(π)), and
+//   - π RelOp s comparisons with a compile-time-constant scalar s
+//     (Restriction 2 of the Extended Wadler Fragment),
+//
+// is lowered to straight-line set algebra computing the whole-domain
+// satisfaction set S = {n ∈ dom ∪ {root} | pred holds at 〈n,∗,∗〉}: seed
+// sets from the document's cached label sets (or one OpScanCmp string-value
+// scan), propagated backwards through inverse axes, combined with
+// intersection/union/complement. Step filtering then costs one bitset
+// intersection per evaluation instead of a per-candidate evaluation loop.
+
+import (
+	"repro/internal/syntax"
+	"repro/internal/values"
+)
+
+// trySat attempts satisfaction-set compilation of pred, emitting the set
+// program into b. It reports false — leaving b untouched — when the
+// predicate is outside the satisfiable shape.
+func (c *compiler) trySat(b *blockBuf, pred syntax.Expr) (int, bool) {
+	if !c.satisfiable(pred) {
+		return 0, false
+	}
+	return c.emitSat(b, pred), true
+}
+
+// satisfiable is the dry-run shape check mirrored by emitSat.
+func (c *compiler) satisfiable(e syntax.Expr) bool {
+	switch e := e.(type) {
+	case *syntax.Binary:
+		if e.Op == syntax.OpAnd || e.Op == syntax.OpOr {
+			return c.satisfiable(e.L) && c.satisfiable(e.R)
+		}
+		if e.Op.IsRelational() {
+			_, _, _, ok := c.satCmpParts(e)
+			return ok
+		}
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnNot:
+			return c.satisfiable(e.Args[0])
+		case syntax.FnBoolean:
+			return c.satExistable(e.Args[0])
+		}
+	case *syntax.Path, *syntax.Union:
+		return c.satExistable(e)
+	}
+	return false
+}
+
+// satExistable reports whether e is a location path (or union of paths)
+// whose existence set can be computed by backward propagation: relative,
+// pure steps over invertible axes, and every step predicate either folds to
+// a constant or is itself satisfiable and position-independent.
+func (c *compiler) satExistable(e syntax.Expr) bool {
+	switch e := e.(type) {
+	case *syntax.Union:
+		for _, p := range e.Paths {
+			if !c.satExistable(p) {
+				return false
+			}
+		}
+		return true
+	case *syntax.Path:
+		if e.Abs || e.Filter != nil || len(e.Steps) == 0 {
+			return false
+		}
+		for _, s := range e.Steps {
+			if !axisHasInverse(s.Axis) {
+				return false
+			}
+			for _, pred := range s.Preds {
+				if _, ok := fold(pred); ok {
+					continue
+				}
+				if c.q.Relev[pred.ID()].NeedsPosition() || !c.satisfiable(pred) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// satCmpParts decomposes a relational comparison into (path, mirrored op,
+// constant scalar). ok requires one operand to be an existable path and the
+// other a compile-time constant scalar; boolean constants are admitted for
+// =/!= only (their node-set comparison goes through boolean(π), not through
+// per-member string values).
+func (c *compiler) satCmpParts(e *syntax.Binary) (path syntax.Expr, op syntax.BinOp, scalar values.Value, ok bool) {
+	op = e.Op
+	path, other := syntax.Expr(e.L), syntax.Expr(e.R)
+	if !c.satExistable(path) {
+		path, other = other, path
+		op = op.Mirror()
+	}
+	if !c.satExistable(path) {
+		return nil, 0, values.Value{}, false
+	}
+	v, isConst := fold(other)
+	if !isConst {
+		return nil, 0, values.Value{}, false
+	}
+	if v.T == values.KindBoolean && !op.IsEquality() {
+		return nil, 0, values.Value{}, false
+	}
+	return path, op, v, true
+}
+
+// emitSat emits the satisfaction-set program for a satisfiable predicate
+// and returns the register holding S. Every returned register holds a set
+// owned by this evaluation (never a shared document cache), so callers may
+// intersect into it in place.
+func (c *compiler) emitSat(b *blockBuf, e syntax.Expr) int {
+	switch e := e.(type) {
+	case *syntax.Binary:
+		if e.Op == syntax.OpAnd || e.Op == syntax.OpOr {
+			l := c.emitSat(b, e.L)
+			r := c.emitSat(b, e.R)
+			op := OpIntersect
+			if e.Op == syntax.OpOr {
+				op = OpUnionSet
+			}
+			c.emit(b, Instr{Op: op, Dst: l, B: l, C: r}) // in place: l is owned
+			return l
+		}
+		path, op, scalar, ok := c.satCmpParts(e)
+		if !ok {
+			c.fail("emitSat: comparison not satisfiable: %s", e)
+		}
+		if scalar.T == values.KindBoolean {
+			// π = b  ⇔  boolean(π) = b (the nset × bool rule of Figure 1).
+			exist := c.emitSatExist(b, path)
+			wantNonEmpty := scalar.Bool == (op == syntax.OpEq)
+			if wantNonEmpty {
+				return exist
+			}
+			return c.emitComplement(b, exist)
+		}
+		// Seed from the string-value scan, then propagate backwards.
+		seed := c.newReg()
+		c.emit(b, Instr{Op: OpScanCmp, Dst: seed, A: int(op), B: c.constIdx(scalar)})
+		return c.emitSatPath(b, path.(*syntax.Path), seed)
+	case *syntax.Call:
+		switch e.Fn {
+		case syntax.FnNot:
+			return c.emitComplement(b, c.emitSat(b, e.Args[0]))
+		case syntax.FnBoolean:
+			return c.emitSatExist(b, e.Args[0])
+		}
+	case *syntax.Path, *syntax.Union:
+		return c.emitSatExist(b, e)
+	}
+	c.fail("emitSat: unhandled predicate %s", e)
+	return 0
+}
+
+func (c *compiler) emitComplement(b *blockBuf, r int) int {
+	dst := c.newReg()
+	c.emit(b, Instr{Op: OpComplement, Dst: dst, C: r})
+	return dst
+}
+
+// emitSatExist emits the existence set {n | π(n) ≠ ∅} of a path or union.
+func (c *compiler) emitSatExist(b *blockBuf, e syntax.Expr) int {
+	switch e := e.(type) {
+	case *syntax.Union:
+		cur := c.emitSatExist(b, e.Paths[0])
+		for _, p := range e.Paths[1:] {
+			r := c.emitSatExist(b, p)
+			c.emit(b, Instr{Op: OpUnionSet, Dst: cur, B: cur, C: r})
+		}
+		return cur
+	case *syntax.Path:
+		return c.emitSatPath(b, e, -1)
+	}
+	c.fail("emitSatExist: not a path: %s", e)
+	return 0
+}
+
+// emitSatPath emits backward propagation through the steps of π. seed (a
+// register, or -1) restricts the nodes the path must reach — the Y′ of the
+// paper's propagate_path_backwards, here the OpScanCmp set of a π RelOp s
+// predicate. Returns the register of {n | π(n) ∩ seed ≠ ∅} (seed = dom when
+// absent). The returned set is owned.
+func (c *compiler) emitSatPath(b *blockBuf, p *syntax.Path, seed int) int {
+	// "after" holds the requirement set at the boundary below step i:
+	// candidates of step i must lie in T(t_i) ∩ sat(preds_i) ∩ after.
+	after := seed
+	afterOwned := seed >= 0
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		s := p.Steps[i]
+		// Collect the step's own predicate satisfaction sets (constants were
+		// validated by satExistable: true folds drop, false empties).
+		var predRegs []int
+		emptyStep := false
+		for _, pred := range s.Preds {
+			if v, ok := fold(pred); ok {
+				if !values.ToBool(v) {
+					emptyStep = true
+				}
+				continue
+			}
+			predRegs = append(predRegs, c.emitSat(b, pred))
+		}
+		if emptyStep {
+			dst := c.newReg()
+			c.emit(b, Instr{Op: OpEmptySet, Dst: dst})
+			return dst
+		}
+		testI := c.testIdx(s.Test)
+		// Build cur = T(t_i) ∩ preds ∩ after, starting from an owned operand
+		// so intersections can run in place; fall back to the shared cached
+		// test set when it is the only constraint (it is then only read).
+		var cur int
+		switch {
+		case afterOwned:
+			cur = after
+			c.emit(b, Instr{Op: OpTestFilter, Dst: cur, B: testI, C: cur})
+		case len(predRegs) > 0:
+			cur = predRegs[0]
+			predRegs = predRegs[1:]
+			c.emit(b, Instr{Op: OpTestFilter, Dst: cur, B: testI, C: cur})
+		default:
+			cur = c.newReg()
+			c.emit(b, Instr{Op: OpTestSet, Dst: cur, B: testI})
+		}
+		for _, pr := range predRegs {
+			c.emit(b, Instr{Op: OpIntersect, Dst: cur, B: cur, C: pr})
+		}
+		after = c.newReg()
+		c.emit(b, Instr{Op: OpStepInv, Dst: after, A: int(s.Axis), C: cur})
+		afterOwned = true
+	}
+	return after
+}

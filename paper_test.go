@@ -56,7 +56,7 @@ func evalNodes(t *testing.T, doc *Document, query string, eng Engine) string {
 
 // allEngines lists the engines able to run arbitrary full-XPath queries.
 var allEngines = []Engine{EngineOptMinContext, EngineMinContext,
-	EngineTopDown, EngineBottomUp, EngineNaive}
+	EngineTopDown, EngineBottomUp, EngineNaive, EngineCompiled}
 
 // TestSection24Result checks the final result of the running example:
 // "The final result of evaluating e is {x13, x14, x21, x22, x23, x24}".

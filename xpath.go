@@ -3,7 +3,7 @@
 // "XPath Query Evaluation: Improving Time and Space Efficiency" (ICDE
 // 2003), together with the baselines they improve on.
 //
-// Six interchangeable evaluation engines are provided:
+// Seven interchangeable evaluation engines are provided:
 //
 //	OptMinContext  — Algorithm 8 (the paper's recommended processor; default)
 //	MinContext     — Algorithm 6, Theorem 7 bounds
@@ -11,6 +11,7 @@
 //	BottomUp       — the strict context-value-table E↑ ([11])
 //	CoreXPath      — linear-time engine for the Core XPath fragment
 //	Naive          — the exponential-time strategy of pre-2002 processors
+//	Compiled       — whole-query compilation to a register VM (internal/plan)
 //
 // All engines implement the same semantics (XPath 1.0, minus the attribute
 // and namespace axes the paper's data model excludes) and can be compared
@@ -35,6 +36,7 @@ import (
 	"repro/internal/corexpath"
 	"repro/internal/engine"
 	"repro/internal/naive"
+	"repro/internal/plan"
 	"repro/internal/syntax"
 	"repro/internal/topdown"
 	"repro/internal/values"
@@ -55,13 +57,18 @@ const (
 	EngineBottomUp
 	EngineCoreXPath
 	EngineNaive
+	// EngineCompiled compiles the query to a flat register-VM program
+	// (internal/plan): fused set-at-a-time step opcodes, satisfaction-set
+	// predicate filters, static position() = k specialization, and a
+	// concurrency-safe compiled-plan cache.
+	EngineCompiled
 )
 
 var engineNames = map[Engine]string{
 	EngineAuto: "auto", EngineOptMinContext: "optmincontext",
 	EngineMinContext: "mincontext", EngineTopDown: "topdown",
 	EngineBottomUp: "bottomup", EngineCoreXPath: "corexpath",
-	EngineNaive: "naive",
+	EngineNaive: "naive", EngineCompiled: "compiled",
 }
 
 // String returns the engine's CLI name.
@@ -86,8 +93,13 @@ func EngineByName(name string) (Engine, bool) {
 // differential tests and benchmarks.
 func Engines() []Engine {
 	return []Engine{EngineOptMinContext, EngineMinContext, EngineTopDown,
-		EngineBottomUp, EngineCoreXPath, EngineNaive}
+		EngineBottomUp, EngineCoreXPath, EngineNaive, EngineCompiled}
 }
+
+// compiledEngine is the process-wide compiled engine: shared so its plan
+// cache and VM pool survive across evaluations (plan.Engine is safe for
+// concurrent use).
+var compiledEngine = plan.New()
 
 func (e Engine) impl() engine.Engine {
 	switch e {
@@ -103,6 +115,8 @@ func (e Engine) impl() engine.Engine {
 		return corexpath.New()
 	case EngineNaive:
 		return naive.New()
+	case EngineCompiled:
+		return compiledEngine
 	}
 	panic("xpath: unknown engine")
 }
@@ -244,6 +258,26 @@ func MustCompile(src string) *Query {
 		panic(err)
 	}
 	return q
+}
+
+// queryCache backs CompileCached: a concurrency-safe compiled-plan cache
+// keyed by query source text.
+var queryCache = plan.NewSourceCache(1024)
+
+// CompileCached is Compile backed by a process-wide cache keyed by the
+// query source: repeated traffic for the same expression skips lexing,
+// parsing, normalization, analysis and plan compilation entirely, and
+// EngineCompiled evaluations of the returned query reuse its precompiled
+// instruction program. Queries needing variable bindings must use
+// CompileWithVars (bindings are substituted into the tree, so source text
+// alone would not identify them).
+func CompileCached(src string) (*Query, error) {
+	e, err := queryCache.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	compiledEngine.Prime(e.Query, e.Prog)
+	return &Query{q: e.Query}, nil
 }
 
 // CompileWithVars compiles with an input variable binding (§2.2 replaces
