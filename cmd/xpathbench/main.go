@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E14) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E15) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -7,7 +7,8 @@
 // Experiment identifiers follow DESIGN.md §2: E5 exponential blowup, E6/E7
 // Theorem 7 time/space, E8 Theorem 10 (Extended Wadler), E9 Theorem 13
 // (Core XPath), E10 Corollary 11, E11/E12 §3.1 ablations, E13 differential
-// agreement, E14 compiled plans vs. interpretation.
+// agreement, E14 compiled plans vs. interpretation, E15 parallel batch and
+// single-document evaluation scaling.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments (e5..e14) or 'all'")
+		exps   = flag.String("exp", "all", "comma-separated experiments (e5..e15) or 'all'")
 		sizes  = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
 		small  = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
 		reps   = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
@@ -74,8 +75,12 @@ func main() {
 			for _, t := range bench.E14(cfg) {
 				t.Print(w)
 			}
+		case "e15":
+			for _, t := range bench.E15(cfg) {
+				t.Print(w)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e14)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e15)\n", name)
 			os.Exit(2)
 		}
 	}

@@ -76,11 +76,12 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
-	cfg := Config{Reps: 1, Sizes: []int{20, 40}, SmallSizes: []int{10, 20}, MaxDouble: 6}
+	cfg := Config{Reps: 1, Sizes: []int{20, 40}, SmallSizes: []int{10, 20}, MaxDouble: 6,
+		Workers: []int{1, 2, 4}, CorpusSizes: []int{12, 24}}
 	var buf bytes.Buffer
 	RunAll(&buf, cfg)
 	out := buf.String()
-	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %s", want)
 		}
@@ -90,6 +91,28 @@ func TestExperimentsSmoke(t *testing.T) {
 		for _, line := range strings.Split(out, "\n") {
 			if strings.Contains(line, "limit") {
 				continue
+			}
+		}
+	}
+	// E15 verifies every parallel cell against the serial reference and
+	// renders disagreements as MISMATCH.
+	if strings.Contains(out, "MISMATCH") {
+		t.Error("E15 reported a parallel/serial result mismatch")
+	}
+}
+
+// TestE15Identical asserts the batch and single-document parallel paths
+// return byte-identical results for every worker count (the E15 tables
+// render any disagreement as MISMATCH).
+func TestE15Identical(t *testing.T) {
+	tabs := E15(Config{Reps: 1, Sizes: []int{30, 60}, Workers: []int{1, 2, 4, 8},
+		CorpusSizes: []int{20}}.Defaults())
+	for _, tab := range tabs {
+		for col, cells := range tab.Cells {
+			for i, cell := range cells {
+				if strings.Contains(cell, "MISMATCH") {
+					t.Errorf("%s: %s row %d: parallel result differs from serial", tab.Title, col, i)
+				}
 			}
 		}
 	}

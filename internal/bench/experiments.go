@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/plan"
+	"repro/internal/store"
 	"repro/internal/syntax"
 	"repro/internal/topdown"
 	"repro/internal/values"
@@ -21,10 +22,12 @@ import (
 // Config scales the experiment sweeps. Zero fields take defaults sized for
 // a laptop run of a few minutes total.
 type Config struct {
-	Reps       int   // repetitions per timing cell (best-of)
-	Sizes      []int // |D| sweep for the scaling experiments
-	SmallSizes []int // |D| sweep for the E↑/E↓ experiments (|D|³+ growth)
-	MaxDouble  int   // last i of the E5 doubling-query family
+	Reps        int   // repetitions per timing cell (best-of)
+	Sizes       []int // |D| sweep for the scaling experiments
+	SmallSizes  []int // |D| sweep for the E↑/E↓ experiments (|D|³+ growth)
+	MaxDouble   int   // last i of the E5 doubling-query family
+	Workers     []int // worker sweep for the E15 batch/parallel experiment
+	CorpusSizes []int // corpus document counts for E15
 }
 
 // Defaults fills in unset fields.
@@ -40,6 +43,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.MaxDouble == 0 {
 		c.MaxDouble = 20
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if len(c.CorpusSizes) == 0 {
+		c.CorpusSizes = []int{100, 250}
 	}
 	return c
 }
@@ -417,6 +426,122 @@ func E14(cfg Config) []*Table {
 	return out
 }
 
+// E15 measures the concurrency layer of internal/store: the batch fan-out
+// of one compiled plan across a document corpus on a bounded worker pool,
+// and the data-partitioned parallel evaluation of a single large document —
+// the scaling curve workers × corpus size, compiled vs OPTMINCONTEXT. Every
+// cell is verified byte-identical to the 1-worker (serial) row before its
+// time is reported; a disagreement renders as "MISMATCH".
+func E15(cfg Config) []*Table {
+	cfg = cfg.Defaults()
+	const querySrc = `//b[d = 100]/child::c`
+	q := mustCompile(querySrc)
+	compiled := plan.New()
+	if _, err := compiled.Plan(q); err != nil {
+		panic(fmt.Sprintf("bench: plan %q: %v", querySrc, err))
+	}
+	engines := map[string]engine.Engine{
+		"compiled": compiled, "optmincontext": core.NewOptMinContext(),
+	}
+	cols := []string{"compiled", "optmincontext"}
+	var out []*Table
+
+	// Part 1: Store.Query across a corpus, one table per corpus size.
+	for _, docs := range cfg.CorpusSizes {
+		st := store.New()
+		for i := 0; i < docs; i++ {
+			// Vary document sizes so the batch is not embarrassingly uniform.
+			if err := st.Add(fmt.Sprintf("doc-%05d", i), workload.Scaled(150+(i%7)*50)); err != nil {
+				panic(err)
+			}
+		}
+		t := NewTable(
+			"E15 — store batch fan-out (parallel corpus evaluation)",
+			fmt.Sprintf("query: %s; corpus: %d documents (|D| 150–450); metric: wall time for the whole batch", querySrc, docs),
+			"workers", "time", cfg.Workers, cols)
+		for _, col := range cols {
+			eng := engines[col]
+			ref, _ := st.Query(q, store.QueryOptions{Engine: eng, Workers: 1})
+			for row, workers := range cfg.Workers {
+				best := time.Duration(math.MaxInt64)
+				var res []store.DocResult
+				for rep := 0; rep < cfg.Reps; rep++ {
+					start := time.Now()
+					res, _ = st.Query(q, store.QueryOptions{Engine: eng, Workers: workers})
+					if d := time.Since(start); d < best {
+						best = d
+					}
+				}
+				if !sameBatch(ref, res) {
+					t.Set(col, row, "MISMATCH")
+					continue
+				}
+				t.SetDuration(col, row, best)
+			}
+		}
+		out = append(out, t)
+	}
+
+	// Part 2: single-document data partitioning (EvaluateParallel). The
+	// document is 25× the largest sweep size, so the default config yields
+	// |D| = 20000 while test configs stay small.
+	docSize := 0
+	for _, n := range cfg.Sizes {
+		if n > docSize {
+			docSize = n
+		}
+	}
+	docSize *= 25
+	doc := workload.Scaled(docSize)
+	t := NewTable(
+		"E15 — single-document data partitioning (EvaluateParallel)",
+		fmt.Sprintf("query: %s; one document, |D| = %d; metric: wall time", querySrc, docSize),
+		"workers", "time", cfg.Workers, cols)
+	for _, col := range cols {
+		eng := engines[col]
+		refVal, _, err := eng.Evaluate(q, doc, engine.RootContext(doc))
+		if err != nil {
+			panic(err)
+		}
+		for row, workers := range cfg.Workers {
+			best := time.Duration(math.MaxInt64)
+			var got values.Value
+			for rep := 0; rep < cfg.Reps; rep++ {
+				start := time.Now()
+				v, _, _, err := store.EvaluateParallel(eng, q, doc, engine.RootContext(doc), workers)
+				if err != nil {
+					panic(err)
+				}
+				got = v
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			if values.Render(got) != values.Render(refVal) {
+				t.Set(col, row, "MISMATCH")
+				continue
+			}
+			t.SetDuration(col, row, best)
+		}
+	}
+	out = append(out, t)
+	return out
+}
+
+// sameBatch reports whether two batch results are byte-identical.
+func sameBatch(a, b []store.DocResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || (a[i].Err == nil) != (b[i].Err == nil) ||
+			values.Render(a[i].Value) != values.Render(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
 // RunAll executes every experiment and prints the tables.
 func RunAll(w io.Writer, cfg Config) {
 	start := time.Now()
@@ -434,6 +559,9 @@ func RunAll(w io.Writer, cfg Config) {
 	E12(cfg).Print(w)
 	E13(cfg).Print(w)
 	for _, t := range E14(cfg) {
+		t.Print(w)
+	}
+	for _, t := range E15(cfg) {
 		t.Print(w)
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

@@ -46,8 +46,20 @@ func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Conte
 	}
 	// Scalar tables are dense over cn × {(cp,cs) | cp ≤ cs}; the maximum
 	// context size is |dom|+1 because candidate lists over node() tests can
-	// include the document root. Precompute the triangular (cp,cs) indexing.
+	// include the document root. A caller-supplied outer context may name a
+	// larger size still (Options.Size is arbitrary); widen the tables to
+	// cover it, or the root read below would index past the triangle. The
+	// widening is bounded: the triangle is Θ(maxCS²) cells, and an absurd
+	// context size must fail cleanly here rather than overflow tri and
+	// slip past the MaxCells estimate below.
 	ev.maxCS = ev.n + 1
+	if ctx.Size > ev.maxCS {
+		if ctx.Size > 1<<15 {
+			return values.Value{}, engine.Stats{}, fmt.Errorf(
+				"bottomup: context size %d exceeds the supported table range (%d)", ctx.Size, 1<<15)
+		}
+		ev.maxCS = ctx.Size
+	}
 	ev.tri = ev.maxCS * (ev.maxCS + 1) / 2
 	if est := int64(ev.nodes) * int64(ev.tri) * int64(countScalarNodes(q)); MaxCells > 0 && est > MaxCells {
 		return values.Value{}, engine.Stats{}, fmt.Errorf(

@@ -1,0 +1,89 @@
+package fuzzgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// TestQueriesAlwaysCompile: the generator must emit only grammar the parser
+// accepts — a compile failure in the differential suite would otherwise be
+// ambiguous between generator and parser bugs.
+func TestQueriesAlwaysCompile(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 300
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		src := Query(rng, Config{})
+		if _, err := syntax.Compile(src); err != nil {
+			t.Fatalf("generated query %d does not compile: %q: %v", i, src, err)
+		}
+	}
+}
+
+// TestDeterministic: the same seed yields the same query and document.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		q1, d1 := Pair(seed, Config{}, 60)
+		q2, d2 := Pair(seed, Config{}, 60)
+		if q1 != q2 {
+			t.Fatalf("seed %d: queries differ:\n%s\n%s", seed, q1, q2)
+		}
+		if d1.XMLString() != d2.XMLString() {
+			t.Fatalf("seed %d: documents differ", seed)
+		}
+	}
+}
+
+// TestDocumentShape: generated documents hit the requested size and carry
+// resolvable ids.
+func TestDocumentShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{10, 60, 300} {
+		doc := Document(rng, n)
+		if doc.Size() < n-1 || doc.Size() > n+8 {
+			t.Errorf("size %d: got %d", n, doc.Size())
+		}
+		if doc.ByID("0") == nil {
+			t.Errorf("size %d: root id missing", n)
+		}
+	}
+}
+
+// TestQueryVariety: over many seeds the generator exercises scalars,
+// unions, filter heads and predicates — guard against a silent collapse of
+// a generation branch.
+func TestQueryVariety(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var scalars, unions, preds, heads int
+	for i := 0; i < 500; i++ {
+		src := Query(rng, Config{})
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		switch q.Root.(type) {
+		case *syntax.Path:
+			if q.Root.(*syntax.Path).Filter != nil {
+				heads++
+			}
+		case *syntax.Union:
+			unions++
+		default:
+			scalars++
+		}
+		for _, e := range q.Nodes {
+			if s, ok := e.(*syntax.Step); ok && len(s.Preds) > 0 {
+				preds++
+				break
+			}
+		}
+	}
+	if scalars == 0 || unions == 0 || preds == 0 || heads == 0 {
+		t.Errorf("variety collapsed: scalars=%d unions=%d preds=%d filter-heads=%d",
+			scalars, unions, preds, heads)
+	}
+}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/syntax"
 )
@@ -78,9 +79,10 @@ type CachedQuery struct {
 // SourceCache (the bindings are substituted into the tree, so source text
 // alone does not identify the query).
 type SourceCache struct {
-	mu  sync.RWMutex
-	cap int
-	m   map[string]*CachedQuery
+	mu       sync.RWMutex
+	cap      int
+	m        map[string]*CachedQuery
+	compiles atomic.Int64
 }
 
 // NewSourceCache returns a cache bounded to roughly capacity entries
@@ -101,6 +103,7 @@ func (c *SourceCache) Get(src string) (*CachedQuery, error) {
 	if e != nil {
 		return e, nil
 	}
+	c.compiles.Add(1)
 	q, err := syntax.Compile(src)
 	if err != nil {
 		return nil, err
@@ -131,3 +134,11 @@ func (c *SourceCache) Len() int {
 	defer c.mu.RUnlock()
 	return len(c.m)
 }
+
+// Compiles returns how many cache misses actually compiled. Concurrent
+// first requests for one source may each compile (the losers' results are
+// discarded at the store), so the count can exceed the number of distinct
+// sources while they race — but once a source is cached, further Gets add
+// nothing. The race tests pin exactly that: a warm cache serves any number
+// of goroutines with zero new compilations.
+func (c *SourceCache) Compiles() int64 { return c.compiles.Load() }

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/values"
+)
+
+// QueryOptions configures one batch evaluation.
+type QueryOptions struct {
+	// Engine evaluates the query on each document. It must be safe for
+	// concurrent use (every engine in this repository is: evaluation state
+	// lives in per-call evaluators, documents are immutable).
+	Engine engine.Engine
+	// Workers bounds the worker pool (≤ 0 means GOMAXPROCS). One worker
+	// degenerates to serial evaluation in ID order.
+	Workers int
+	// IDs restricts the batch to the given documents, evaluated in the
+	// given order; an unknown ID yields a DocResult with Err set. Nil means
+	// every stored document, in sorted ID order.
+	IDs []string
+}
+
+// DocResult is the outcome of the query on one document of the batch.
+type DocResult struct {
+	ID    string
+	Value values.Value
+	Stats engine.Stats
+	Err   error
+}
+
+// Query fans the compiled query out across the selected documents on a
+// bounded worker pool and returns one DocResult per document plus the
+// summed instrumentation counters. The result order is deterministic
+// (sorted IDs, or the order of opts.IDs) regardless of scheduling: workers
+// claim documents from an atomic cursor and write results by index.
+func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.Stats) {
+	items := s.batchItems(opts.IDs)
+	results := make([]DocResult, len(items))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := items[i]
+				if it.doc == nil {
+					results[i] = DocResult{ID: it.id,
+						Err: fmt.Errorf("store: no document with ID %q", it.id)}
+					continue
+				}
+				v, st, err := opts.Engine.Evaluate(q, it.doc, engine.RootContext(it.doc))
+				results[i] = DocResult{ID: it.id, Value: v, Stats: st, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var agg engine.Stats
+	for i := range results {
+		agg.Add(results[i].Stats)
+	}
+	return results, agg
+}
+
+// batchItems resolves the document selection of a batch. Unknown IDs are
+// kept as nil-document entries so the caller gets a per-document error in
+// the right slot instead of a silently shorter batch.
+func (s *Store) batchItems(ids []string) []entry {
+	if ids == nil {
+		return s.snapshot()
+	}
+	items := make([]entry, len(ids))
+	for i, id := range ids {
+		doc, _ := s.Get(id)
+		items[i] = entry{id: id, doc: doc}
+	}
+	return items
+}

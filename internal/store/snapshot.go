@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/xmltree"
+)
+
+// Corpus snapshots persist a whole store: the per-document binary snapshot
+// format of internal/xmltree, framed with document IDs. Loading a corpus
+// rebuilds every document with all evaluation indexes and re-interns labels
+// into the store's shared table, so a snapshot round trip is the cheap
+// preparation path for batch serving.
+//
+// Format (integers are unsigned varints, strings length-prefixed):
+//
+//	magic "XPC1"
+//	docCount
+//	per document: id, snapshotLen, snapshot bytes (xmltree "XPT1" format)
+const corpusMagic = "XPC1"
+
+// WriteSnapshot serializes the whole corpus in sorted-ID order.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	items := s.snapshot()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(corpusMagic); err != nil {
+		return err
+	}
+	xmltree.WriteUvarint(bw, uint64(len(items)))
+	var buf bytes.Buffer
+	for _, it := range items {
+		buf.Reset()
+		if err := it.doc.WriteSnapshot(&buf); err != nil {
+			return fmt.Errorf("store: snapshot %q: %w", it.id, err)
+		}
+		xmltree.WriteSnapString(bw, it.id)
+		xmltree.WriteUvarint(bw, uint64(buf.Len()))
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a corpus written by WriteSnapshot into a fresh store.
+func LoadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(corpusMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	if string(magic) != corpusMagic {
+		return nil, fmt.Errorf("store: snapshot: bad magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot: document count: %w", err)
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("store: snapshot: implausible document count %d", count)
+	}
+	s := New()
+	for i := uint64(0); i < count; i++ {
+		id, err := xmltree.ReadSnapString(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: document %d ID: %w", i, err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: %q: length: %w", id, err)
+		}
+		lr := io.LimitReader(br, int64(n))
+		doc, err := xmltree.LoadSnapshot(lr)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: %q: %w", id, err)
+		}
+		// The document loader buffers internally and stops at its own EOF
+		// marker; drain whatever of the framed region it left unread so the
+		// outer stream stays aligned on the next document.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("store: snapshot: %q: %w", id, err)
+		}
+		if err := s.Add(id, doc); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/syntax"
+	"repro/internal/values"
+	"repro/internal/workload"
+)
+
+func mustQuery(t *testing.T, src string) *syntax.Query {
+	t.Helper()
+	q, err := syntax.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return q
+}
+
+func corpus(t *testing.T, n int) *Store {
+	t.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		if err := s.Add(fmt.Sprintf("doc-%03d", i), workload.Scaled(60+i*7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddGetRemove(t *testing.T) {
+	s := New()
+	if err := s.Add("", workload.Figure2()); err == nil {
+		t.Error("Add with empty ID: want error")
+	}
+	if err := s.Add("x", nil); err == nil {
+		t.Error("Add with nil document: want error")
+	}
+	if err := s.Add(strings.Repeat("x", maxIDLen+1), workload.Figure2()); err == nil {
+		t.Error("Add with oversized ID: want error (snapshot would be unloadable)")
+	}
+	doc := workload.Figure2()
+	if err := s.Add("fig2", doc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("fig2")
+	if !ok || got != doc {
+		t.Fatalf("Get: %v %v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get(missing): want !ok")
+	}
+	// Replacement keeps Len stable.
+	if err := s.Add("fig2", workload.Doubling()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after replace: %d", s.Len())
+	}
+	if !s.Remove("fig2") || s.Remove("fig2") {
+		t.Error("Remove: want true then false")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after remove: %d", s.Len())
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := corpus(t, 12)
+	ids := s.IDs()
+	if len(ids) != 12 {
+		t.Fatalf("IDs: %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %q >= %q", ids[i-1], ids[i])
+		}
+	}
+}
+
+// TestLabelInterning: documents added to one store share canonical label
+// strings, and the intern table stays bounded by the vocabulary size.
+func TestLabelInterning(t *testing.T) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		if err := s.Add(fmt.Sprintf("d%d", i), workload.Scaled(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scaled uses labels a, b, c, d and the attribute name id.
+	if n := s.Interner().Len(); n > 8 {
+		t.Errorf("interner holds %d strings; want the corpus vocabulary (≤ 8)", n)
+	}
+	d0, _ := s.Get("d0")
+	d1, _ := s.Get("d1")
+	l0, l1 := d0.Root().Children()[0].Label(), d1.Root().Children()[0].Label()
+	if l0 != l1 {
+		t.Fatalf("labels differ: %q vs %q", l0, l1)
+	}
+}
+
+// TestBatchQueryDeterministic: any worker count produces the identical
+// per-document result sequence.
+func TestBatchQueryDeterministic(t *testing.T) {
+	s := corpus(t, 30)
+	q := mustQuery(t, `//b[c = 100]/child::c`)
+	eng := core.NewOptMinContext()
+	ref, refStats := s.Query(q, QueryOptions{Engine: eng, Workers: 1})
+	if len(ref) != 30 {
+		t.Fatalf("batch size: %d", len(ref))
+	}
+	for _, workers := range []int{2, 4, 8, 33} {
+		got, gotStats := s.Query(q, QueryOptions{Engine: eng, Workers: workers})
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: batch size %d", workers, len(got))
+		}
+		for i := range got {
+			if got[i].ID != ref[i].ID || got[i].Err != nil ||
+				values.Render(got[i].Value) != values.Render(ref[i].Value) {
+				t.Errorf("workers=%d doc %s: %s vs %s", workers, ref[i].ID,
+					values.Render(got[i].Value), values.Render(ref[i].Value))
+			}
+		}
+		if gotStats != refStats {
+			t.Errorf("workers=%d: stats %v vs %v", workers, gotStats, refStats)
+		}
+	}
+}
+
+// TestBatchQueryEngines: the batch layer agrees across evaluation engines.
+func TestBatchQueryEngines(t *testing.T) {
+	s := corpus(t, 10)
+	q := mustQuery(t, `/child::a/child::b/child::d`)
+	ref, _ := s.Query(q, QueryOptions{Engine: core.NewOptMinContext(), Workers: 4})
+	got, _ := s.Query(q, QueryOptions{Engine: plan.New(), Workers: 4})
+	for i := range ref {
+		if values.Render(ref[i].Value) != values.Render(got[i].Value) {
+			t.Errorf("doc %s: optmincontext %s vs compiled %s", ref[i].ID,
+				values.Render(ref[i].Value), values.Render(got[i].Value))
+		}
+	}
+}
+
+// TestBatchQuerySubset: explicit ID selections keep their order and report
+// unknown IDs as per-document errors in the right slots.
+func TestBatchQuerySubset(t *testing.T) {
+	s := corpus(t, 6)
+	q := mustQuery(t, `count(//c)`)
+	ids := []string{"doc-004", "doc-000", "nope", "doc-002"}
+	res, _ := s.Query(q, QueryOptions{Engine: core.NewOptMinContext(), Workers: 3, IDs: ids})
+	if len(res) != 4 {
+		t.Fatalf("len: %d", len(res))
+	}
+	for i, id := range ids {
+		if res[i].ID != id {
+			t.Errorf("slot %d: %q want %q", i, res[i].ID, id)
+		}
+	}
+	if res[2].Err == nil {
+		t.Error("unknown ID: want error")
+	}
+	if res[0].Err != nil || res[1].Err != nil || res[3].Err != nil {
+		t.Error("known IDs: want no error")
+	}
+}
+
+// TestBatchQueryEmpty: an empty store yields an empty batch.
+func TestBatchQueryEmpty(t *testing.T) {
+	s := New()
+	res, agg := s.Query(mustQuery(t, `//c`), QueryOptions{Engine: core.NewOptMinContext(), Workers: 8})
+	if len(res) != 0 || (agg != engine.Stats{}) {
+		t.Fatalf("empty store: %v %v", res, agg)
+	}
+}
+
+// TestCorpusSnapshotRoundTrip: WriteSnapshot → LoadSnapshot preserves IDs,
+// document content and query results.
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	s := corpus(t, 9)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("Len: %d want %d", loaded.Len(), s.Len())
+	}
+	q := mustQuery(t, `//b[c = 100]/child::c`)
+	eng := core.NewOptMinContext()
+	want, _ := s.Query(q, QueryOptions{Engine: eng, Workers: 2})
+	got, _ := loaded.Query(q, QueryOptions{Engine: eng, Workers: 2})
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			values.Render(want[i].Value) != values.Render(got[i].Value) {
+			t.Errorf("doc %s: %s vs %s", want[i].ID,
+				values.Render(want[i].Value), values.Render(got[i].Value))
+		}
+	}
+	// XML serialization survives too.
+	d0, _ := s.Get("doc-000")
+	l0, _ := loaded.Get("doc-000")
+	if d0.XMLString() != l0.XMLString() {
+		t.Error("XML round trip mismatch")
+	}
+}
+
+func TestCorpusSnapshotBadInput(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic: want error")
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input: want error")
+	}
+}
+
+// TestConcurrentStoreMutation: concurrent Add/Remove/Get/Query across
+// goroutines — run under -race in CI.
+func TestConcurrentStoreMutation(t *testing.T) {
+	s := corpus(t, 20)
+	q := mustQuery(t, `count(//d)`)
+	eng := core.NewOptMinContext()
+	stable := s.IDs() // batch over a fixed subset while other IDs churn
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := fmt.Sprintf("churn-%d-%d", g, i)
+				if err := s.Add(id, workload.Doubling()); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(id); !ok {
+					t.Errorf("Get(%s) after Add: missing", id)
+					return
+				}
+				res, _ := s.Query(q, QueryOptions{Engine: eng, Workers: 2, IDs: stable})
+				if len(res) != len(stable) {
+					t.Errorf("batch size %d want %d", len(res), len(stable))
+					return
+				}
+				s.Remove(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("Len after churn: %d", s.Len())
+	}
+}
+
+// TestUnknownLabelConcurrent: LabelSet on labels absent from the document
+// must be read-only (the lazily-cached empty set used to be a data race
+// under concurrent evaluation).
+func TestUnknownLabelConcurrent(t *testing.T) {
+	doc := workload.Figure2()
+	q := mustQuery(t, `/descendant::zzz/child::yyy`)
+	eng := core.NewOptMinContext()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := eng.Evaluate(q, doc, engine.RootContext(doc))
+			if err != nil || v.Set.Len() != 0 {
+				t.Errorf("unknown label: %v %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

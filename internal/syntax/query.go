@@ -83,6 +83,23 @@ func CompileWithVars(src string, vars map[string]VarBinding) (*Query, error) {
 	return q, nil
 }
 
+// Subquery builds a fully analyzed Query from an already-normalized
+// expression subtree. The subtree is cloned first, so the derived query's
+// dense IDs, Relev analysis and fragment classification do not disturb the
+// query the subtree was taken from. It is the splitting primitive of the
+// data-partitioned parallel evaluator (internal/store), which decomposes an
+// absolute location path into a serially-evaluated head and a per-context
+// tail fanned out across goroutines.
+func Subquery(src string, root Expr) *Query {
+	clone := cloneExpr(root)
+	q := &Query{Source: src, Root: clone}
+	q.assignIDs(clone)
+	q.computeRelev()
+	q.Fragment = classify(q)
+	q.BottomUp = findBottomUpPaths(q)
+	return q
+}
+
 // Size returns |Q|, the number of parse-tree nodes.
 func (q *Query) Size() int { return len(q.Nodes) }
 

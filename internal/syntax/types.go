@@ -60,6 +60,11 @@ type Expr interface {
 	children() []Expr
 }
 
+// Children returns the expression's direct subexpressions — the exported
+// form of the parse-tree walk, for sibling packages analyzing query shapes
+// (the parallel evaluator's partitionability check).
+func Children(e Expr) []Expr { return e.children() }
+
 // base carries the bookkeeping shared by all expression kinds.
 type base struct {
 	id int

@@ -1,0 +1,70 @@
+package xmltree
+
+import (
+	"strings"
+	"sync"
+)
+
+// Interner is a concurrency-safe string intern table. A document store
+// holding many documents parsed from similar vocabularies wastes memory on
+// duplicate label strings: encoding/xml allocates a fresh string per start
+// tag, so a corpus of n documents with a shared schema carries n copies of
+// every tag name. Interning maps every equal label onto one canonical
+// backing string shared across all documents of the corpus.
+type Interner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner { return &Interner{m: make(map[string]string)} }
+
+// Intern returns the canonical copy of s, installing one on first sight.
+// The canonical string is cloned from s, so it never pins a larger parse
+// buffer s might be a slice of.
+func (in *Interner) Intern(s string) string {
+	in.mu.RLock()
+	c, ok := in.m[s]
+	in.mu.RUnlock()
+	if ok {
+		return c
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	c = strings.Clone(s)
+	in.m[c] = c
+	return c
+}
+
+// Len returns the number of canonical strings held.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.m)
+}
+
+// InternLabels replaces every element label and attribute name of the
+// document with its canonical interned copy, and re-keys the label index
+// accordingly so the old per-document strings become collectable. Attribute
+// and text values are left alone (they are usually unique).
+//
+// The replacement strings are equal to the originals, so the document's
+// observable state is unchanged; but because string headers are rewritten
+// in place, InternLabels must not run concurrently with readers of the
+// document. Call it once, before the document is shared — Store.Add does.
+func (d *Document) InternLabels(in *Interner) {
+	for _, n := range d.nodes {
+		n.label = in.Intern(n.label)
+		for i := range n.attrs {
+			n.attrs[i].Name = in.Intern(n.attrs[i].Name)
+		}
+	}
+	byLabel := make(map[string]*Set, len(d.byLabel))
+	for k, v := range d.byLabel {
+		byLabel[in.Intern(k)] = v
+	}
+	d.byLabel = byLabel
+}

@@ -198,6 +198,7 @@ type Document struct {
 	byLabel  map[string]*Set
 	allElems *Set // T(*): every node except the document root
 	allNodes *Set // node(): every node including the document root
+	emptySet *Set // shared T(t) for labels absent from the document
 }
 
 // Root returns the synthetic document root (the node selected by "/").
@@ -240,10 +241,10 @@ func (d *Document) LabelSet(label string) *Set {
 	if s, ok := d.byLabel[label]; ok {
 		return s
 	}
-	// Unknown labels share one canonical empty set per document.
-	s := NewSet(d)
-	d.byLabel[label] = s
-	return s
+	// Unknown labels share one canonical empty set per document, built at
+	// finish() time: caching per unknown label here would write the map and
+	// break the document's safe-for-concurrent-readers guarantee.
+	return d.emptySet
 }
 
 // AllElements returns T(*): every node except the document root. The
@@ -286,6 +287,7 @@ func (d *Document) finish() {
 	d.byLabel = make(map[string]*Set)
 	d.allElems = NewSet(d)
 	d.allNodes = NewSet(d)
+	d.emptySet = NewSet(d)
 	for _, n := range d.nodes {
 		d.allNodes.Add(n)
 		if n.parent == nil {

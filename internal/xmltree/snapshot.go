@@ -50,9 +50,9 @@ func (d *Document) WriteSnapshot(w io.Writer) error {
 			labels = append(labels, n.label)
 		}
 	}
-	writeUvarint(bw, uint64(len(labels)))
+	WriteUvarint(bw, uint64(len(labels)))
 	for _, l := range labels {
-		writeString(bw, l)
+		WriteSnapString(bw, l)
 	}
 
 	var walk func(n *Node) error
@@ -61,11 +61,11 @@ func (d *Document) WriteSnapshot(w io.Writer) error {
 			if err := bw.WriteByte(evStart); err != nil {
 				return err
 			}
-			writeUvarint(bw, uint64(labelIdx[n.label]))
-			writeUvarint(bw, uint64(len(n.attrs)))
+			WriteUvarint(bw, uint64(labelIdx[n.label]))
+			WriteUvarint(bw, uint64(len(n.attrs)))
 			for _, a := range n.attrs {
-				writeString(bw, a.Name)
-				writeString(bw, a.Value)
+				WriteSnapString(bw, a.Name)
+				WriteSnapString(bw, a.Value)
 			}
 		}
 		for _, seg := range n.segments {
@@ -77,7 +77,7 @@ func (d *Document) WriteSnapshot(w io.Writer) error {
 				if err := bw.WriteByte(evText); err != nil {
 					return err
 				}
-				writeString(bw, seg.text)
+				WriteSnapString(bw, seg.text)
 			}
 		}
 		if !n.IsRoot() {
@@ -116,7 +116,7 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 	}
 	labels := make([]string, nLabels)
 	for i := range labels {
-		if labels[i], err = readString(br); err != nil {
+		if labels[i], err = ReadSnapString(br); err != nil {
 			return nil, fmt.Errorf("xmltree: snapshot: label %d: %w", i, err)
 		}
 	}
@@ -145,16 +145,16 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 			}
 			attrs := make([]Attr, nAttrs)
 			for i := range attrs {
-				if attrs[i].Name, err = readString(br); err != nil {
+				if attrs[i].Name, err = ReadSnapString(br); err != nil {
 					return nil, err
 				}
-				if attrs[i].Value, err = readString(br); err != nil {
+				if attrs[i].Value, err = ReadSnapString(br); err != nil {
 					return nil, err
 				}
 			}
 			b.Start(labels[li], attrs...)
 		case evText:
-			s, err := readString(br)
+			s, err := ReadSnapString(br)
 			if err != nil {
 				return nil, err
 			}
@@ -171,19 +171,29 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 	}
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+// WriteUvarint, WriteSnapString and ReadSnapString are the shared framing
+// primitives of the snapshot formats — the per-document "XPT1" stream here
+// and the corpus "XPC1" stream of internal/store both use them, so the two
+// formats cannot drift apart on varint encoding or sanity limits.
+
+// WriteUvarint appends an unsigned varint.
+func WriteUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	// bufio.Writer.Write never returns an error until Flush.
 	_, _ = w.Write(buf[:n])
 }
 
-func writeString(w *bufio.Writer, s string) {
-	writeUvarint(w, uint64(len(s)))
+// WriteSnapString appends a length-prefixed string.
+func WriteSnapString(w *bufio.Writer, s string) {
+	WriteUvarint(w, uint64(len(s)))
 	_, _ = w.WriteString(s)
 }
 
-func readString(r *bufio.Reader) (string, error) {
+// ReadSnapString reads a length-prefixed string, rejecting implausible
+// lengths (the cap admits large text segments; callers with tighter
+// domains — e.g. document IDs — validate at write time).
+func ReadSnapString(r *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err

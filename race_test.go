@@ -1,0 +1,203 @@
+package xpath
+
+// Race-focused tests: CI runs these under -race. They pin the concurrency
+// contracts of the serving layer — CompileCached converging on one cached
+// compilation per source, engines evaluating one shared document from many
+// goroutines, and Store.Query returning identical batches under arbitrary
+// interleavings.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestConcurrentCompileCached: many goroutines compile the same set of
+// sources concurrently. Every caller of a given source must get the same
+// cached query object (the cache converges on one entry), and once the
+// cache is warm a second stampede must compile nothing at all — the "no
+// duplicate plan compilation beyond cache semantics" contract.
+func TestConcurrentCompileCached(t *testing.T) {
+	sources := []string{
+		`//race-test-a/child::b`,
+		`//race-test-b[d = 100]/child::c`,
+		`/descendant::race-test-c[position() != last()]`,
+		`count(//race-test-d) + sum(//race-test-d)`,
+	}
+	const goroutines = 24
+	got := make([][]*Query, len(sources))
+	for i := range got {
+		got[i] = make([]*Query, goroutines)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, src := range sources {
+				q, err := CompileCached(src)
+				if err != nil {
+					t.Errorf("CompileCached(%q): %v", src, err)
+					return
+				}
+				got[i][g] = q
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, src := range sources {
+		for g := 1; g < goroutines; g++ {
+			if got[i][g].q != got[i][0].q {
+				t.Errorf("%q: goroutine %d got a different cached query object", src, g)
+			}
+		}
+	}
+
+	// Warm stampede: zero additional compilations.
+	before := queryCache.Compiles()
+	wg = sync.WaitGroup{}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, src := range sources {
+				if _, err := CompileCached(src); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if after := queryCache.Compiles(); after != before {
+		t.Errorf("warm cache recompiled: %d new compilations", after-before)
+	}
+}
+
+// TestConcurrentEvaluateSharedDoc: all engines evaluate one shared document
+// from many goroutines and must agree with the serial reference — the
+// immutable-document contract the batch layer is built on.
+func TestConcurrentEvaluateSharedDoc(t *testing.T) {
+	doc := WrapTree(workload.Scaled(300))
+	src := `//b[d = 100]/child::c[position() != last()]`
+	q := MustCompile(src)
+	ref, err := q.Evaluate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, eng := range []Engine{EngineOptMinContext, EngineTopDown, EngineCompiled} {
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(eng Engine) {
+				defer wg.Done()
+				res, err := q.EvaluateWith(doc, Options{Engine: eng})
+				if err != nil {
+					t.Errorf("%v: %v", eng, err)
+					return
+				}
+				if !sameResult(ref, res) {
+					t.Errorf("%v: %s want %s", eng, res, ref)
+				}
+			}(eng)
+		}
+	}
+	wg.Wait()
+}
+
+// TestConcurrentStoreQuery: many goroutines run batches against one store
+// with different worker counts while other goroutines churn unrelated
+// documents; every batch over the stable subset must be identical.
+func TestConcurrentStoreQuery(t *testing.T) {
+	st := NewStore()
+	for i := 0; i < 24; i++ {
+		if err := st.Add(fmt.Sprintf("stable-%02d", i), WrapTree(workload.Scaled(80+i*5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stable := st.IDs()
+	src := `//b[d = 100]/child::c`
+	ref, err := st.Query(src, BatchOptions{Workers: 1, IDs: stable})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) { // churners
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := fmt.Sprintf("churn-%d-%d", g, i)
+				if err := st.Add(id, WrapTree(workload.Doubling())); err != nil {
+					t.Error(err)
+					return
+				}
+				st.Remove(id)
+			}
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) { // queriers
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				batch, err := st.Query(src, BatchOptions{
+					Workers: 1 + (g+i)%8,
+					IDs:     stable,
+					Engine:  []Engine{EngineOptMinContext, EngineCompiled}[i%2],
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(batch.Docs) != len(ref.Docs) {
+					t.Errorf("batch size %d want %d", len(batch.Docs), len(ref.Docs))
+					return
+				}
+				for j := range batch.Docs {
+					if batch.Docs[j].ID != ref.Docs[j].ID ||
+						!sameResult(ref.Docs[j].Result, batch.Docs[j].Result) {
+						t.Errorf("goroutine %d iter %d doc %s: batch differs", g, i, ref.Docs[j].ID)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentEvaluateParallel: nested concurrency — several goroutines
+// each running the data-partitioned evaluator on the same document.
+func TestConcurrentEvaluateParallel(t *testing.T) {
+	doc := WrapTree(workload.Scaled(1500))
+	q := MustCompile(`//b[d = 100]/child::c`)
+	ref, err := q.Evaluate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := q.EvaluateParallel(doc, ParallelOptions{
+				Workers: 2 + g%4,
+				Engine:  []Engine{EngineOptMinContext, EngineCompiled}[g%2],
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !sameResult(ref, res) {
+				t.Errorf("goroutine %d: %s want %s", g, res, ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

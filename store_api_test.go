@@ -1,0 +1,154 @@
+package xpath
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestStoreAPI walks the public store surface end to end: add/get/remove,
+// batch queries with subsets and unknown IDs, aggregated stats and corpus
+// snapshot round trips.
+func TestStoreAPI(t *testing.T) {
+	st := NewStore()
+	if st.Len() != 0 || len(st.IDs()) != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	docs := map[string]string{
+		"inventory": `<a><b id="1"><c>21 22</c><d>100</d></b></a>`,
+		"orders":    `<a><b id="1"><d>100</d></b><b id="2"><c>5</c></b></a>`,
+		"empty":     `<a/>`,
+	}
+	for id, xml := range docs {
+		doc, err := ParseDocumentString(xml)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(id, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Join(st.IDs(), ","); got != "empty,inventory,orders" {
+		t.Fatalf("IDs: %s", got)
+	}
+	if err := st.Add("nil-doc", nil); err == nil {
+		t.Error("Add(nil document): want error, not a panic")
+	}
+	if _, ok := st.Get("inventory"); !ok {
+		t.Fatal("Get(inventory) missing")
+	}
+
+	batch, err := st.Query(`count(//d)`, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"empty": "0", "inventory": "1", "orders": "1"}
+	for _, dr := range batch.Docs {
+		if dr.Err != nil {
+			t.Fatalf("%s: %v", dr.ID, dr.Err)
+		}
+		if dr.Result.Text() != want[dr.ID] {
+			t.Errorf("%s: %s want %s", dr.ID, dr.Result.Text(), want[dr.ID])
+		}
+	}
+	if batch.Errs() != 0 {
+		t.Errorf("Errs: %d", batch.Errs())
+	}
+	if batch.Stats().AxisCalls == 0 {
+		t.Error("aggregated stats empty")
+	}
+
+	// Unknown IDs surface as per-document errors in their slots.
+	batch, err = st.Query(`//d`, BatchOptions{IDs: []string{"orders", "ghost"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Errs() != 1 || batch.Docs[1].Err == nil || batch.Docs[0].Err != nil {
+		t.Fatalf("unknown-ID batch: errs=%d docs=%+v", batch.Errs(), batch.Docs)
+	}
+
+	// A malformed query surfaces as one call error, not a batch.
+	if _, err := st.Query(`//[`, BatchOptions{}); err == nil {
+		t.Error("malformed query: want error")
+	}
+
+	// Snapshot round trip through the public API.
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(loaded.IDs(), ",") != "empty,inventory,orders" {
+		t.Fatalf("loaded IDs: %v", loaded.IDs())
+	}
+	reBatch, err := loaded.Query(`count(//d)`, BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dr := range reBatch.Docs {
+		if dr.Err != nil || dr.Result.Text() != want[dr.ID] {
+			t.Errorf("loaded %s: %v %v", dr.ID, dr.Result, dr.Err)
+		}
+	}
+
+	if !st.Remove("empty") || st.Remove("empty") {
+		t.Error("Remove: want true then false")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len: %d", st.Len())
+	}
+}
+
+// TestEvaluateParallelAPI covers the public parallel entry point: context
+// nodes, foreign-document rejection, and scalar fallbacks.
+func TestEvaluateParallelAPI(t *testing.T) {
+	doc := WrapTree(workload.Scaled(900))
+	other := WrapTree(workload.Figure2())
+
+	q := MustCompile(`//b[d = 100]/child::c`)
+	ref, err := q.Evaluate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.EvaluateParallel(doc, ParallelOptions{Workers: 4, Engine: EngineCompiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(ref, res) {
+		t.Errorf("parallel %s want %s", res, ref)
+	}
+
+	if _, err := q.EvaluateParallel(doc, ParallelOptions{ContextNode: other.Root()}); err == nil {
+		t.Error("foreign context node: want error")
+	}
+
+	// Scalar queries fall back to serial and still answer correctly.
+	sq := MustCompile(`count(//c) > 0`)
+	sres, err := sq.EvaluateParallel(doc, ParallelOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Bool() {
+		t.Error("scalar fallback: want true")
+	}
+
+	// A context node reaches the fallback path too.
+	cn := doc.Root().Children()[0].Children()[0]
+	rq := MustCompile(`following-sibling::*`)
+	rref, err := rq.EvaluateWith(doc, Options{ContextNode: cn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := rq.EvaluateParallel(doc, ParallelOptions{Workers: 4, ContextNode: cn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResult(rref, rres) {
+		t.Errorf("context-relative parallel %s want %s", rres, rref)
+	}
+}

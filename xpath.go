@@ -64,36 +64,56 @@ const (
 	EngineCompiled
 )
 
-var engineNames = map[Engine]string{
-	EngineAuto: "auto", EngineOptMinContext: "optmincontext",
-	EngineMinContext: "mincontext", EngineTopDown: "topdown",
-	EngineBottomUp: "bottomup", EngineCoreXPath: "corexpath",
-	EngineNaive: "naive", EngineCompiled: "compiled",
+// engineList is the single source of truth for engine naming: an ordered
+// slice, so String, EngineByName and Engines are deterministic (a map here
+// made EngineByName's answer depend on iteration order whenever two entries
+// shared a name).
+var engineList = []struct {
+	e    Engine
+	name string
+}{
+	{EngineAuto, "auto"},
+	{EngineOptMinContext, "optmincontext"},
+	{EngineMinContext, "mincontext"},
+	{EngineTopDown, "topdown"},
+	{EngineBottomUp, "bottomup"},
+	{EngineCoreXPath, "corexpath"},
+	{EngineNaive, "naive"},
+	{EngineCompiled, "compiled"},
 }
 
 // String returns the engine's CLI name.
 func (e Engine) String() string {
-	if n, ok := engineNames[e]; ok {
-		return n
+	for _, ent := range engineList {
+		if ent.e == e {
+			return ent.name
+		}
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
 // EngineByName resolves a CLI engine name; ok is false for unknown names.
+// Resolution scans the declaration order of engineList, so the answer is
+// deterministic even if a name were ever duplicated.
 func EngineByName(name string) (Engine, bool) {
-	for e, n := range engineNames {
-		if n == name {
-			return e, true
+	for _, ent := range engineList {
+		if ent.name == name {
+			return ent.e, true
 		}
 	}
 	return 0, false
 }
 
 // Engines lists every selectable engine (excluding the Auto alias), for
-// differential tests and benchmarks.
+// differential tests and benchmarks, in engineList order.
 func Engines() []Engine {
-	return []Engine{EngineOptMinContext, EngineMinContext, EngineTopDown,
-		EngineBottomUp, EngineCoreXPath, EngineNaive, EngineCompiled}
+	out := make([]Engine, 0, len(engineList)-1)
+	for _, ent := range engineList {
+		if ent.e != EngineAuto {
+			out = append(out, ent.e)
+		}
+	}
+	return out
 }
 
 // compiledEngine is the process-wide compiled engine: shared so its plan
@@ -362,12 +382,20 @@ func (q *Query) Evaluate(doc *Document) (*Result, error) {
 	return q.EvaluateWith(doc, Options{})
 }
 
+// errContextForeignNode rejects context nodes from another document.
+var errContextForeignNode = fmt.Errorf("xpath: context node belongs to a different document")
+
+// rootContextFor returns the default outermost context 〈root, 1, 1〉.
+func rootContextFor(doc *Document) engine.Context {
+	return engine.Context{Node: doc.tree.Root(), Pos: 1, Size: 1}
+}
+
 // EvaluateWith runs the query with explicit options.
 func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
-	ctx := engine.Context{Node: doc.tree.Root(), Pos: 1, Size: 1}
+	ctx := rootContextFor(doc)
 	if opts.ContextNode != nil {
 		if opts.ContextNode.n.Document() != doc.tree {
-			return nil, fmt.Errorf("xpath: context node belongs to a different document")
+			return nil, errContextForeignNode
 		}
 		ctx.Node = opts.ContextNode.n
 	}
@@ -384,11 +412,17 @@ func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{v: v, stats: Stats{
+	return &Result{v: v, stats: toStats(st)}, nil
+}
+
+// toStats converts the engines' instrumentation counters to the public
+// Stats — the single conversion point for every evaluation path.
+func toStats(st engine.Stats) Stats {
+	return Stats{
 		TableCells:        st.TableCells,
 		ContextsEvaluated: st.ContextsEvaluated,
 		AxisCalls:         st.AxisCalls,
-	}}, nil
+	}
 }
 
 // IsNodeSet reports whether the result is a node set.
