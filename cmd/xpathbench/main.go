@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E15) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E16) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -8,7 +8,8 @@
 // Theorem 7 time/space, E8 Theorem 10 (Extended Wadler), E9 Theorem 13
 // (Core XPath), E10 Corollary 11, E11/E12 §3.1 ablations, E13 differential
 // agreement, E14 compiled plans vs. interpretation, E15 parallel batch and
-// single-document evaluation scaling.
+// single-document evaluation scaling, E16 flat-topology axis kernels
+// before/after (with -e16-json emission).
 package main
 
 import (
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments (e5..e15) or 'all'")
-		sizes  = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
-		small  = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
-		reps   = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
-		maxDbl = flag.Int("max-doubling", 20, "last i of the E5 doubling-query family")
+		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e16) or 'all'")
+		sizes   = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
+		small   = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
+		reps    = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
+		maxDbl  = flag.Int("max-doubling", 20, "last i of the E5 doubling-query family")
+		e16json = flag.String("e16-json", "BENCH_E16.json", "output path for the E16 before/after rows (empty disables)")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 
 	w := os.Stdout
 	if *exps == "all" {
-		bench.RunAll(w, cfg)
+		bench.RunAll(w, cfg, *e16json)
 		return
 	}
 	for _, name := range strings.Split(*exps, ",") {
@@ -79,8 +81,18 @@ func main() {
 			for _, t := range bench.E15(cfg) {
 				t.Print(w)
 			}
+		case "e16":
+			t, rows := bench.E16(cfg)
+			t.Print(w)
+			if *e16json != "" {
+				if err := bench.WriteE16JSON(*e16json, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "xpathbench: write E16 JSON:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *e16json)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e15)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e16)\n", name)
 			os.Exit(2)
 		}
 	}

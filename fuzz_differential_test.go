@@ -65,6 +65,39 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 }
 
+// TestDifferentialFuzzAxisChains holds the fused set-at-a-time axis+test
+// kernels (corexpath, compiled, and the core engines' step images) to the
+// unfused candidate-list engines (topdown, bottomup, naive) on long
+// generated chains that mix all twelve axes with name and node-test
+// combinations — the workload shape where the flat-topology kernels carry
+// the whole evaluation.
+func TestDifferentialFuzzAxisChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(fuzzSeed + 3))
+	pairs := fuzzPairs() / 2
+	var doc *Document
+	var ids []string
+	for i := 0; i < pairs; i++ {
+		if i%10 == 0 {
+			tree := fuzzgen.Document(rng, 20+rng.Intn(40))
+			doc = WrapTree(tree)
+			ids = ids[:0]
+			for _, n := range tree.Nodes() {
+				if id, ok := n.Attr("id"); ok {
+					ids = append(ids, id)
+				}
+			}
+		}
+		src := fuzzgen.AxisChainQuery(rng)
+		agree(t, doc, src, "")
+		if len(ids) > 0 && rng.Intn(3) == 0 {
+			agree(t, doc, src, ids[rng.Intn(len(ids))])
+		}
+		if t.Failed() {
+			t.Fatalf("disagreement at axis-chain pair %d (suite seed %d): %s", i, fuzzSeed+3, src)
+		}
+	}
+}
+
 // TestDifferentialFuzzParallel cross-checks the parallel evaluator against
 // serial evaluation on generated pairs — the split/merge logic, the
 // fallback gates and the document-order merge all ride the same check.

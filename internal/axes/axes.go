@@ -126,190 +126,21 @@ func (a Axis) Inverse() Axis {
 	panic("axes: Inverse of " + a.String())
 }
 
-// Apply computes χ(X) in O(|D|) (Definition 1).
+// Apply computes χ(X) in O(|D|) (Definition 1), allocating the result set.
+// It is the convenience form of ApplyInto; hot paths pass a reused
+// destination and Scratch to ApplyInto/ApplyTest instead.
 func Apply(a Axis, x *xmltree.Set) *xmltree.Set {
-	doc := x.Document()
-	out := xmltree.NewSet(doc)
-	if x.IsEmpty() {
-		return out
-	}
-	switch a {
-	case Self:
-		out.UnionWith(x)
-
-	case Child:
-		// y ∈ child(X) iff parent(y) ∈ X: one scan over dom.
-		for _, n := range doc.Nodes() {
-			if p := n.Parent(); p != nil && x.Has(p) {
-				out.Add(n)
-			}
-		}
-
-	case Parent:
-		x.ForEach(func(n *xmltree.Node) {
-			if p := n.Parent(); p != nil {
-				out.Add(p)
-			}
-		})
-
-	case Descendant, DescendantOrSelf:
-		// One preorder scan carrying "some proper ancestor is in X". The
-		// document-order slice is a preorder, so a node's ancestors have
-		// already been classified when it is reached; memoize per node via
-		// a flags array indexed by pre.
-		marked := make([]bool, doc.NumNodes())
-		for _, n := range doc.Nodes() {
-			p := n.Parent()
-			if p != nil && (marked[p.Pre()] || x.Has(p)) {
-				marked[n.Pre()] = true
-				out.Add(n)
-			}
-		}
-		if a == DescendantOrSelf {
-			out.UnionWith(x)
-		}
-
-	case Ancestor, AncestorOrSelf:
-		// y is an ancestor of some x ∈ X iff some child subtree of y
-		// contains an X node. Postorder aggregation: scan dom in reverse
-		// preorder; by then every child has been classified.
-		contains := make([]bool, doc.NumNodes())
-		nodes := doc.Nodes()
-		for i := len(nodes) - 1; i >= 0; i-- {
-			n := nodes[i]
-			c := x.Has(n)
-			if !c {
-				for _, k := range n.Children() {
-					if contains[k.Pre()] {
-						c = true
-						break
-					}
-				}
-			}
-			contains[n.Pre()] = c
-			if p := n.Parent(); c && p != nil {
-				out.Add(p)
-			}
-		}
-		// The loop adds parents of subtrees containing X members, i.e. all
-		// proper ancestors, because containment propagates upward.
-		// Fill transitively: a parent added above may itself have ancestors
-		// that were only discovered via the same child chain; the contains
-		// flags make the loop already transitive since contains[n] is true
-		// whenever any descendant is in X.
-		if a == AncestorOrSelf {
-			out.UnionWith(x)
-		}
-
-	case Following:
-		// y follows some x ∈ X iff start(y) > end(x) for the x with the
-		// smallest end event. One pass to find it, one pass to collect.
-		minEnd := -1
-		x.ForEach(func(n *xmltree.Node) {
-			if minEnd == -1 || nodeEnd(n) < minEnd {
-				minEnd = nodeEnd(n)
-			}
-		})
-		for _, n := range doc.Nodes() {
-			if nodeStart(n) > minEnd {
-				out.Add(n)
-			}
-		}
-
-	case Preceding:
-		// y precedes some x ∈ X iff end(y) < start(x) for the x with the
-		// largest start event. Ancestors are excluded by the event test.
-		maxStart := -1
-		x.ForEach(func(n *xmltree.Node) {
-			if nodeStart(n) > maxStart {
-				maxStart = nodeStart(n)
-			}
-		})
-		for _, n := range doc.Nodes() {
-			if nodeEnd(n) < maxStart {
-				out.Add(n)
-			}
-		}
-
-	case FollowingSibling:
-		// For each parent, collect children positioned after the first
-		// X-child. Total work is Σ children = O(|D|).
-		seen := make(map[*xmltree.Node]int) // parent → index of first X child
-		x.ForEach(func(n *xmltree.Node) {
-			p := n.Parent()
-			if p == nil {
-				return
-			}
-			idx := childIndex(n)
-			if old, ok := seen[p]; !ok || idx < old {
-				seen[p] = idx
-			}
-		})
-		for p, idx := range seen {
-			kids := p.Children()
-			for _, k := range kids[idx+1:] {
-				out.Add(k)
-			}
-		}
-
-	case PrecedingSibling:
-		seen := make(map[*xmltree.Node]int) // parent → index of last X child
-		x.ForEach(func(n *xmltree.Node) {
-			p := n.Parent()
-			if p == nil {
-				return
-			}
-			idx := childIndex(n)
-			if old, ok := seen[p]; !ok || idx > old {
-				seen[p] = idx
-			}
-		})
-		for p, idx := range seen {
-			kids := p.Children()
-			for _, k := range kids[:idx] {
-				out.Add(k)
-			}
-		}
-
-	case ID:
-		x.ForEach(func(n *xmltree.Node) {
-			out.UnionWith(doc.DerefIDs(n.StringValue()))
-		})
-
-	default:
-		panic("axes: Apply: unknown axis " + a.String())
-	}
+	out := xmltree.NewSet(x.Document())
+	ApplyInto(out, a, x, nil)
 	return out
 }
 
 // ApplyInverse computes χ⁻¹(Y) (Definition 1). For the structural axes this
 // is Apply of the symmetric axis; for the id-axis it is the F[[Op]]⁻¹
 // computation of Section 6: all x whose string value dereferences to a node
-// of Y.
+// of Y. Hot paths use ApplyInverseInto.
 func ApplyInverse(a Axis, y *xmltree.Set) *xmltree.Set {
-	if a != ID {
-		return Apply(a.Inverse(), y)
-	}
-	doc := y.Document()
-	out := xmltree.NewSet(doc)
-	if y.IsEmpty() {
-		return out
-	}
-	for _, n := range doc.Nodes() {
-		if n.IsRoot() {
-			continue
-		}
-		if doc.DerefIDs(n.StringValue()).Intersects(y) {
-			out.Add(n)
-		}
-	}
+	out := xmltree.NewSet(y.Document())
+	ApplyInverseInto(out, a, y, nil)
 	return out
 }
-
-// childIndex returns n's position among its parent's children, precomputed
-// at document-build time so the sibling-axis functions stay O(|D|).
-func childIndex(n *xmltree.Node) int { return n.SiblingIndex() }
-
-// nodeStart/nodeEnd expose the event numbering through the xmltree API.
-func nodeStart(n *xmltree.Node) int { return n.StartEvent() }
-func nodeEnd(n *xmltree.Node) int   { return n.EndEvent() }

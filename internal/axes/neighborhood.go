@@ -29,14 +29,13 @@ func Neighborhood(a Axis, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node 
 		if a == DescendantOrSelf {
 			dst = append(dst, x)
 		}
-		var walk func(n *xmltree.Node)
-		walk = func(n *xmltree.Node) {
-			for _, c := range n.Children() {
-				dst = append(dst, c)
-				walk(c)
-			}
+		// The subtree is the contiguous pre range [pre+1, SubEnd[pre]), and
+		// pre order is document order — no recursion needed.
+		doc := x.Document()
+		t := doc.Topology()
+		for pre := x.Pre() + 1; pre < int(t.SubEnd[x.Pre()]); pre++ {
+			dst = append(dst, doc.Node(pre))
 		}
-		walk(x)
 
 	case Ancestor, AncestorOrSelf:
 		// Reverse document order: nearest ancestor first.
@@ -48,23 +47,23 @@ func Neighborhood(a Axis, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node 
 		}
 
 	case Following:
-		// All nodes whose start event is after x's end event, in document
-		// order. One scan of the document-order node slice suffices.
-		end := x.EndEvent()
-		for _, n := range x.Document().Nodes() {
-			if n.StartEvent() > end {
-				dst = append(dst, n)
-			}
+		// Everything after x's subtree: the pre range [SubEnd[pre], |D|),
+		// already in document order.
+		doc := x.Document()
+		t := doc.Topology()
+		for pre := int(t.SubEnd[x.Pre()]); pre < doc.NumNodes(); pre++ {
+			dst = append(dst, doc.Node(pre))
 		}
 
 	case Preceding:
 		// All nodes whose end event is before x's start event, in reverse
-		// document order.
-		start := x.StartEvent()
-		nodes := x.Document().Nodes()
-		for i := len(nodes) - 1; i >= 0; i-- {
-			if nodes[i].EndEvent() < start {
-				dst = append(dst, nodes[i])
+		// document order; the flat End column avoids the pointer chase.
+		doc := x.Document()
+		t := doc.Topology()
+		start := int32(x.StartEvent())
+		for pre := x.Pre() - 1; pre >= 0; pre-- {
+			if t.End[pre] < start {
+				dst = append(dst, doc.Node(pre))
 			}
 		}
 

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/axes"
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// E16 measures the flat structure-of-arrays topology and the zero-alloc
+// fused axis kernels against the retained pointer-chasing reference
+// implementation (axes.ApplyReference), in two tiers:
+//
+//   - axis-kernel microbenchmarks: one set-at-a-time axis application on a
+//     workload document, before (reference: []*Node scans, fresh scratch
+//     and output allocations per call) vs after (flat kernels into a reused
+//     destination with a shared Scratch);
+//   - end-to-end workload queries on the set-at-a-time engines (compiled,
+//     corexpath, optmincontext), switched between the two kernel
+//     implementations via axes.SetReferenceMode — everything else about
+//     the engines is identical, so the delta isolates the kernels.
+//
+// ns/op is best-of-Reps over averaged inner loops; allocs/op comes from
+// testing.AllocsPerRun. The rows are also emitted as BENCH_E16.json (see
+// WriteE16JSON) so the perf trajectory of the kernels is machine-readable.
+//
+// Single-core container note: all numbers are single-threaded ns/op and
+// allocs/op — the quantities that are meaningful on 1 CPU — not parallel
+// wall-clock scaling.
+
+// E16Row is one measurement of the E16 before/after comparison.
+type E16Row struct {
+	Name   string  `json:"name"`             // e.g. "kernel/descendant" or "e2e/compiled/<query>"
+	Mode   string  `json:"mode"`             // "before" (reference) or "after" (flat kernels)
+	NsOp   float64 `json:"ns_per_op"`        // single-threaded nanoseconds per operation
+	Allocs float64 `json:"allocs_per_op"`    // allocations per operation
+	Param  int     `json:"param,omitempty"`  // |D| of the document used
+	Source string  `json:"source,omitempty"` // query text for end-to-end rows
+}
+
+// e16Queries are the end-to-end workloads: two descendant-heavy Core XPath
+// queries (the acceptance workload class) and the position-heavy §2.4 query.
+func e16Queries() []string {
+	return []string{
+		workload.CoreQueries()[0], // /descendant::b[child::d]/child::c
+		workload.CoreQueries()[3], // //b[.//d]//c (descendant-heavy)
+		workload.PositionHeavy(),
+	}
+}
+
+// E16 runs the before/after comparison and returns the printable table plus
+// the raw rows for JSON emission.
+func E16(cfg Config) (*Table, []E16Row) {
+	cfg = cfg.Defaults()
+	size := 0
+	for _, n := range cfg.Sizes {
+		if n > size {
+			size = n
+		}
+	}
+	doc := workload.Scaled(size)
+	var rows []E16Row
+
+	// Tier 1: axis kernels. X = T(b), a mid-size label set, so every axis
+	// has real work; id is excluded (it is string-value-, not topology-bound).
+	x := doc.LabelSet("b").Clone()
+	dst := xmltree.NewSet(doc)
+	sc := axes.NewScratch()
+	kernelAxes := []axes.Axis{axes.Child, axes.Parent, axes.Descendant,
+		axes.Ancestor, axes.DescendantOrSelf, axes.Following, axes.Preceding,
+		axes.FollowingSibling, axes.PrecedingSibling}
+	for _, a := range kernelAxes {
+		a := a
+		before := func() { _ = axes.ApplyReference(a, x) }
+		after := func() { axes.ApplyInto(dst, a, x, sc) }
+		rows = append(rows,
+			E16Row{Name: "kernel/" + a.String(), Mode: "before", Param: size,
+				NsOp: measureNs(before, cfg.Reps), Allocs: testing.AllocsPerRun(30, before)},
+			E16Row{Name: "kernel/" + a.String(), Mode: "after", Param: size,
+				NsOp: measureNs(after, cfg.Reps), Allocs: testing.AllocsPerRun(30, after)})
+	}
+
+	// Tier 2: end-to-end queries on the set-at-a-time engines.
+	compiled := plan.New()
+	engines := []struct {
+		name string
+		eng  engine.Engine
+	}{
+		{"compiled", compiled},
+		{"corexpath", corexpath.New()},
+		{"optmincontext", core.NewOptMinContext()},
+	}
+	for qi, src := range e16Queries() {
+		q := mustCompile(src)
+		if _, err := compiled.Plan(q); err != nil {
+			panic(fmt.Sprintf("bench: plan %q: %v", src, err))
+		}
+		for _, e := range engines {
+			if _, _, err := e.eng.Evaluate(q, doc, engine.RootContext(doc)); err != nil {
+				continue // outside the engine's fragment
+			}
+			run := func() {
+				if _, _, err := e.eng.Evaluate(q, doc, engine.RootContext(doc)); err != nil {
+					panic(err)
+				}
+			}
+			name := fmt.Sprintf("e2e/q%d/%s", qi+1, e.name)
+			axes.SetReferenceMode(true)
+			rows = append(rows, E16Row{Name: name, Mode: "before", Param: size, Source: src,
+				NsOp: measureNs(run, cfg.Reps), Allocs: testing.AllocsPerRun(20, run)})
+			axes.SetReferenceMode(false)
+			rows = append(rows, E16Row{Name: name, Mode: "after", Param: size, Source: src,
+				NsOp: measureNs(run, cfg.Reps), Allocs: testing.AllocsPerRun(20, run)})
+		}
+	}
+
+	return e16Table(rows, size), rows
+}
+
+// measureNs returns the best-of-reps average nanoseconds per call of f,
+// with an inner loop sized so one sample is at least ~2ms of work.
+func measureNs(f func(), reps int) float64 {
+	f() // warm caches, pools and the plan cache
+	inner := 1
+	for {
+		start := time.Now()
+		for i := 0; i < inner; i++ {
+			f()
+		}
+		if d := time.Since(start); d >= 2*time.Millisecond || inner >= 1<<16 {
+			break
+		}
+		inner *= 4
+	}
+	best := float64(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for i := 0; i < inner; i++ {
+			f()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(inner)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// e16Table renders the rows in the repository's table style: one row per
+// measurement name, columns before/after ns and allocs plus the speedup.
+func e16Table(rows []E16Row, size int) *Table {
+	type pair struct{ before, after *E16Row }
+	byName := map[string]*pair{}
+	var order []string
+	for i := range rows {
+		r := &rows[i]
+		p, ok := byName[r.Name]
+		if !ok {
+			p = &pair{}
+			byName[r.Name] = p
+			order = append(order, r.Name)
+		}
+		if r.Mode == "before" {
+			p.before = r
+		} else {
+			p.after = r
+		}
+	}
+	cols := []string{"name", "before", "after", "speedup", "allocs before", "allocs after"}
+	params := make([]int, len(order))
+	for i := range params {
+		params[i] = i
+	}
+	t := NewTable(
+		"E16 — flat-topology axis kernels: before/after",
+		fmt.Sprintf("|D| = %d; before = pointer-chasing reference kernels, after = flat SoA kernels (fused test, reused scratch); single-threaded ns/op", size),
+		"#", "mixed", params, cols)
+	for i, name := range order {
+		p := byName[name]
+		t.Set("name", i, name)
+		t.Set("before", i, formatDuration(time.Duration(p.before.NsOp)))
+		t.Set("after", i, formatDuration(time.Duration(p.after.NsOp)))
+		t.Set("speedup", i, fmt.Sprintf("%.2fx", p.before.NsOp/p.after.NsOp))
+		t.Set("allocs before", i, fmt.Sprintf("%.1f", p.before.Allocs))
+		t.Set("allocs after", i, fmt.Sprintf("%.1f", p.after.Allocs))
+	}
+	return t
+}
+
+// WriteE16JSON emits the E16 rows as a JSON document for the perf
+// trajectory (BENCH_E16.json at the repository root).
+func WriteE16JSON(path string, rows []E16Row) error {
+	doc := struct {
+		Experiment string   `json:"experiment"`
+		Unit       string   `json:"unit"`
+		Note       string   `json:"note"`
+		Rows       []E16Row `json:"rows"`
+	}{
+		Experiment: "E16",
+		Unit:       "ns/op, allocs/op (single-threaded)",
+		Note:       "before = axes.ApplyReference (pointer-chasing, per-call allocations); after = flat structure-of-arrays kernels with fused node tests and reused Scratch",
+		Rows:       rows,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

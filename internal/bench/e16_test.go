@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/axes"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// TestE16RowsAndJSON runs E16 on a tiny configuration and checks the row
+// structure plus the JSON round trip — the shape the perf-trajectory
+// tooling consumes.
+func TestE16RowsAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tab, rows := E16(Config{Reps: 1, Sizes: []int{30, 60}})
+	if len(rows) == 0 || len(rows)%2 != 0 {
+		t.Fatalf("E16 returned %d rows, want a nonzero even count (before/after pairs)", len(rows))
+	}
+	modes := map[string]int{}
+	for _, r := range rows {
+		if r.NsOp <= 0 {
+			t.Errorf("row %s/%s: non-positive ns/op %v", r.Name, r.Mode, r.NsOp)
+		}
+		if r.Allocs < 0 {
+			t.Errorf("row %s/%s: negative allocs", r.Name, r.Mode)
+		}
+		modes[r.Mode]++
+	}
+	if modes["before"] != modes["after"] {
+		t.Errorf("unpaired rows: %d before vs %d after", modes["before"], modes["after"])
+	}
+	if len(tab.Cells["speedup"]) != len(rows)/2 {
+		t.Errorf("table has %d rows, want %d", len(tab.Cells["speedup"]), len(rows)/2)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_E16.json")
+	if err := WriteE16JSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string   `json:"experiment"`
+		Rows       []E16Row `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if doc.Experiment != "E16" || len(doc.Rows) != len(rows) {
+		t.Fatalf("JSON content mismatch: %q, %d rows", doc.Experiment, len(doc.Rows))
+	}
+}
+
+// The benchmarks below are the CI smoke surface (go test -run=NONE -bench=.
+// -benchtime=1x ./internal/bench/...): they keep the benchmark code
+// compiling and running on every push, and double as the manual entry point
+// for kernel-level profiling.
+
+func benchDocAndSet(b *testing.B) (*xmltree.Document, *xmltree.Set) {
+	b.Helper()
+	doc := workload.Scaled(400)
+	return doc, doc.LabelSet("b").Clone()
+}
+
+// BenchmarkKernelDescendant measures the flat descendant kernel — the
+// bit-range fast path the E16 acceptance criterion is built on.
+func BenchmarkKernelDescendant(b *testing.B) {
+	doc, x := benchDocAndSet(b)
+	dst := xmltree.NewSet(doc)
+	sc := axes.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axes.ApplyInto(dst, axes.Descendant, x, sc)
+	}
+}
+
+// BenchmarkKernelDescendantReference measures the retained pointer-chasing
+// implementation for comparison.
+func BenchmarkKernelDescendantReference(b *testing.B) {
+	_, x := benchDocAndSet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = axes.ApplyReference(axes.Descendant, x)
+	}
+}
+
+// BenchmarkKernelFusedStep measures the fused axis+test kernel (descendant
+// image ANDed with a per-label bitset).
+func BenchmarkKernelFusedStep(b *testing.B) {
+	doc, x := benchDocAndSet(b)
+	dst := xmltree.NewSet(doc)
+	sc := axes.NewScratch()
+	test := doc.LabelSet("c")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axes.ApplyTest(dst, axes.Descendant, x, test, sc)
+	}
+}
+
+// BenchmarkE16CompiledDescendantHeavy measures the warm compiled-plan
+// end-to-end path on the descendant-heavy Core XPath workload query.
+func BenchmarkE16CompiledDescendantHeavy(b *testing.B) {
+	doc := workload.Scaled(400)
+	q := mustCompile(workload.CoreQueries()[0])
+	e := plan.New()
+	ctx := engine.RootContext(doc)
+	if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -542,8 +542,9 @@ func sameBatch(a, b []store.DocResult) bool {
 	return true
 }
 
-// RunAll executes every experiment and prints the tables.
-func RunAll(w io.Writer, cfg Config) {
+// RunAll executes every experiment and prints the tables. A non-empty
+// e16JSONPath additionally emits the E16 before/after rows as JSON.
+func RunAll(w io.Writer, cfg Config, e16JSONPath string) {
 	start := time.Now()
 	E5(cfg).Print(w)
 	E6(cfg).Print(w)
@@ -563,6 +564,15 @@ func RunAll(w io.Writer, cfg Config) {
 	}
 	for _, t := range E15(cfg) {
 		t.Print(w)
+	}
+	t16, rows := E16(cfg)
+	t16.Print(w)
+	if e16JSONPath != "" {
+		if err := WriteE16JSON(e16JSONPath, rows); err != nil {
+			fmt.Fprintf(w, "E16 JSON: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", e16JSONPath)
+		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -97,7 +97,9 @@ func (ev *evaluation) propagatePathBackwards(pi *syntax.Path, y *xmltree.Set) *x
 				})
 			}
 			ev.st.AxisCalls++
-			cur = axes.ApplyInverse(step.Axis, yPP)
+			next := xmltree.NewSet(ev.doc)
+			axes.ApplyInverseInto(next, step.Axis, yPP, ev.sc)
+			cur = next
 			continue
 		}
 
@@ -105,10 +107,12 @@ func (ev *evaluation) propagatePathBackwards(pi *syntax.Path, y *xmltree.Set) *x
 		// candidate loop with true positions, then keep x when a surviving
 		// candidate leads into Y′.
 		ev.st.AxisCalls++
-		xPrime := axes.ApplyInverse(step.Axis, yPrime)
+		xPrime := xmltree.NewSet(ev.doc)
+		axes.ApplyInverseInto(xPrime, step.Axis, yPrime, ev.sc)
 		// Table the predicates over the full forward image, which contains
 		// every candidate the position loop will evaluate.
-		img := engine.StepImage(&ev.st, step.Axis, step.Test, xPrime)
+		img := xmltree.NewSet(ev.doc)
+		engine.StepImageInto(&ev.st, img, step.Axis, step.Test, xPrime, ev.sc)
 		for _, pred := range step.Preds {
 			ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, img))
 		}

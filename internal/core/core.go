@@ -29,7 +29,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/axes"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/values"
@@ -57,6 +59,11 @@ type Options struct {
 type Engine struct {
 	opts     Options
 	bottomUp bool
+	// scratch pools axis-kernel scratch arenas: one is checked out per
+	// evaluation, so concurrent callers (e.g. the workers of a store batch)
+	// each reuse one arena across all their evaluations instead of paying
+	// per-axis-call scratch allocations.
+	scratch sync.Pool
 }
 
 // NewMinContext returns the MINCONTEXT engine (Algorithm 6).
@@ -87,11 +94,17 @@ func (e *Engine) Name() string {
 // Evaluate implements engine.Engine: Algorithm 6 (MINCONTEXT), preceded by
 // the bottom-up pass of Algorithm 8 when the engine is OPTMINCONTEXT.
 func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+	sc, _ := e.scratch.Get().(*axes.Scratch)
+	if sc == nil {
+		sc = axes.NewScratch()
+	}
+	defer e.scratch.Put(sc)
 	ev := &evaluation{
 		q:     q,
 		doc:   doc,
 		inCtx: ctx,
 		opts:  e.opts,
+		sc:    sc,
 		tab:   make([]map[int]values.Value, q.Size()),
 	}
 	if e.bottomUp {
@@ -113,6 +126,7 @@ type evaluation struct {
 	inCtx engine.Context
 	opts  Options
 	st    engine.Stats
+	sc    *axes.Scratch // kernel scratch, reused across every axis call
 
 	// tab[N.ID()] is table(N): context → value, keyed by the context node's
 	// document-order index, or by wildcardKey when Relev(N) ∩ {cn} = ∅.

@@ -62,7 +62,8 @@ func (ev *evaluation) stepForward(step *syntax.Step, x *xmltree.Set) *xmltree.Se
 //	if no ei depends on cp/cs:  filter Y by single-context predicate checks;
 //	else: per x, loop over the ordered candidate list with 〈zj, j, m〉.
 func (ev *evaluation) stepMap(step *syntax.Step, x *xmltree.Set, emit func(x *xmltree.Node, selected []*xmltree.Node)) {
-	y := engine.StepImage(&ev.st, step.Axis, step.Test, x)
+	y := xmltree.NewSet(ev.doc)
+	engine.StepImageInto(&ev.st, y, step.Axis, step.Test, x, ev.sc)
 	needsPos := false
 	for _, pred := range step.Preds {
 		ev.evalByCnodeOnly(pred, ev.cnodeArg(pred, y))

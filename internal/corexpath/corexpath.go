@@ -16,6 +16,7 @@ package corexpath
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/axes"
 	"repro/internal/engine"
@@ -25,7 +26,11 @@ import (
 )
 
 // Engine is the Core XPath evaluator. The zero value is ready to use.
-type Engine struct{}
+type Engine struct {
+	// scratch pools axis-kernel scratch arenas, one per concurrent
+	// evaluation (e.g. per store batch worker).
+	scratch sync.Pool
+}
 
 // New returns a Core XPath engine.
 func New() *Engine { return &Engine{} }
@@ -37,19 +42,29 @@ func (*Engine) Name() string { return "corexpath" }
 var ErrNotCore = fmt.Errorf("corexpath: query is not in the Core XPath fragment (Definition 12)")
 
 // Evaluate implements engine.Engine.
-func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
 	if q.Fragment != syntax.FragmentCoreXPath {
 		return values.Value{}, engine.Stats{}, ErrNotCore
 	}
-	ev := &evaluator{doc: doc}
+	sc, _ := e.scratch.Get().(*axes.Scratch)
+	if sc == nil {
+		sc = axes.NewScratch()
+	}
+	defer e.scratch.Put(sc)
+	ev := &evaluator{doc: doc, sc: sc}
 	p := q.Root.(*syntax.Path)
 
+	// The main path runs forward over two alternating buffers: every step is
+	// one fused StepImageInto plus per-predicate bitset intersections, so the
+	// whole chain allocates two sets regardless of its length.
 	cur := xmltree.Singleton(ctx.Node)
 	if p.Abs {
 		cur = xmltree.Singleton(doc.Root())
 	}
+	next := xmltree.NewSet(doc)
 	for _, step := range p.Steps {
-		cur = ev.forwardStep(step, cur)
+		ev.forwardStepInto(next, step, cur)
+		cur, next = next, cur
 	}
 	return values.NodeSet(cur), ev.st, nil
 }
@@ -57,16 +72,16 @@ func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Conte
 type evaluator struct {
 	doc *xmltree.Document
 	st  engine.Stats
+	sc  *axes.Scratch
 }
 
-// forwardStep computes χ(X) ∩ T(t) ∩ ⋂ⱼ sat(eⱼ) in O(|D|).
-func (ev *evaluator) forwardStep(step *syntax.Step, x *xmltree.Set) *xmltree.Set {
-	y := engine.StepImage(&ev.st, step.Axis, step.Test, x)
+// forwardStepInto computes χ(X) ∩ T(t) ∩ ⋂ⱼ sat(eⱼ) into dst, in O(|D|).
+func (ev *evaluator) forwardStepInto(dst *xmltree.Set, step *syntax.Step, x *xmltree.Set) {
+	engine.StepImageInto(&ev.st, dst, step.Axis, step.Test, x, ev.sc)
 	for _, pred := range step.Preds {
-		y.IntersectWith(ev.satSet(pred))
+		dst.IntersectWith(ev.satSet(pred))
 	}
-	ev.st.TableCells += int64(y.Len())
-	return y
+	ev.st.TableCells += int64(dst.Len())
 }
 
 // satSet returns the set of context nodes at which the predicate holds.
@@ -98,6 +113,7 @@ func (ev *evaluator) satSet(e syntax.Expr) *xmltree.Set {
 // node of a full match; χ⁻¹ chains the steps.
 func (ev *evaluator) pathSat(p *syntax.Path) *xmltree.Set {
 	cur := ev.doc.AllNodes().Clone()
+	buf := xmltree.NewSet(ev.doc) // alternates with cur through the steps
 	for i := len(p.Steps) - 1; i >= 0; i-- {
 		step := p.Steps[i]
 		cur.IntersectWith(engine.TestSet(ev.doc, step.Test))
@@ -106,7 +122,8 @@ func (ev *evaluator) pathSat(p *syntax.Path) *xmltree.Set {
 		}
 		ev.st.AxisCalls++
 		ev.st.TableCells += int64(cur.Len())
-		cur = axes.ApplyInverse(step.Axis, cur)
+		axes.ApplyInverseInto(buf, step.Axis, cur, ev.sc)
+		cur, buf = buf, cur
 	}
 	if p.Abs {
 		if cur.Has(ev.doc.Root()) {

@@ -93,38 +93,57 @@ func TestSet(doc *xmltree.Document, t syntax.NodeTest) *xmltree.Set {
 }
 
 // StepImage computes "nodes reachable from X via χ::t" (the Y of the
-// Section 6 pseudo-code): χ(X) ∩ T(t), in O(|D|).
+// Section 6 pseudo-code): χ(X) ∩ T(t), in O(|D|), allocating the result.
+// Hot paths use StepImageInto with a reused destination and Scratch.
 func StepImage(st *Stats, a axes.Axis, t syntax.NodeTest, x *xmltree.Set) *xmltree.Set {
-	st.AxisCalls++
-	y := axes.Apply(a, x)
-	y.IntersectWith(TestSet(x.Document(), t))
+	y := xmltree.NewSet(x.Document())
+	StepImageInto(st, y, a, t, x, nil)
 	return y
+}
+
+// StepImageInto is the fused, allocation-free form of StepImage: the axis
+// kernel writes χ(X) into dst (cleared first) and the node test is applied
+// as one word-parallel bitset intersection instead of a per-node filter.
+// dst is caller-owned and must not alias x or a shared document set.
+func StepImageInto(st *Stats, dst *xmltree.Set, a axes.Axis, t syntax.NodeTest, x *xmltree.Set, sc *axes.Scratch) {
+	st.AxisCalls++
+	var test *xmltree.Set
+	if t.Kind != syntax.TestNode {
+		test = TestSet(x.Document(), t)
+	}
+	axes.ApplyTest(dst, a, x, test, sc)
 }
 
 // Candidates returns the ordered candidate list of step χ::t from a single
 // context node x: Neighborhood(χ, x) filtered by t, in the <doc,χ order
-// that makes idxχ the 1-based slice index.
+// that makes idxχ the 1-based slice index. The list is appended to dst and
+// filtered in place, so a reused buffer with capacity makes the call
+// allocation-free.
 func Candidates(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node {
+	base := len(dst)
+	dst = axes.Neighborhood(a, x, dst)
 	if t.Kind == syntax.TestNode {
-		return axes.Neighborhood(a, x, dst)
+		return dst
 	}
-	all := axes.Neighborhood(a, x, nil)
-	for _, n := range all {
+	kept := dst[:base]
+	for _, n := range dst[base:] {
 		if MatchTest(t, n) {
-			dst = append(dst, n)
+			kept = append(kept, n)
 		}
 	}
-	return dst
+	return kept
 }
 
 // CandidatesWithin returns Candidates restricted to members of keep,
 // preserving order. Used where the pseudo-code writes Z := {z ∈ Y | x χ z}.
 func CandidatesWithin(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, keep *xmltree.Set, dst []*xmltree.Node) []*xmltree.Node {
-	all := axes.Neighborhood(a, x, nil)
-	for _, n := range all {
+	base := len(dst)
+	dst = axes.Neighborhood(a, x, dst)
+	kept := dst[:base]
+	for _, n := range dst[base:] {
 		if MatchTest(t, n) && keep.Has(n) {
-			dst = append(dst, n)
+			kept = append(kept, n)
 		}
 	}
-	return dst
+	return kept
 }

@@ -71,6 +71,55 @@ func Query(rng *rand.Rand, cfg Config) string {
 	}
 }
 
+// AxisChainQuery generates a long location path that deliberately chains
+// many distinct axes with name and node-test combinations — the shape that
+// drives the engines' set-at-a-time axis kernels (and the fused axis+test
+// path) hardest. All twelve axes appear across the distribution: the eleven
+// structural axes as steps, and the id-axis through id() filter heads and
+// id() predicates. Predicates are kept in the Core XPath shape (pure
+// relative paths) so the satisfaction-set and backward-propagation kernels
+// are exercised too, and every generated query stays cheap enough for the
+// exponential naive comparator on the small differential documents.
+func AxisChainQuery(rng *rand.Rand) string {
+	var b strings.Builder
+	// Head: absolute, descendant-or-self expanded, or the id-axis. A
+	// node-set argument to id() is what normalization rewrites into an
+	// ID-axis location step (§4), so both forms appear.
+	switch rng.Intn(6) {
+	case 0:
+		fmt.Fprintf(&b, "id(\"%d %d %d\")", rng.Intn(30), rng.Intn(30), rng.Intn(30))
+	case 1:
+		fmt.Fprintf(&b, "id(/descendant::%s)", Labels[rng.Intn(len(Labels))])
+	case 2:
+		b.WriteString("/descendant-or-self::node()")
+	default:
+		b.WriteString("/descendant::" + nodeTests[rng.Intn(len(nodeTests))])
+	}
+	// A shuffled pass over all eleven structural axes guarantees every axis
+	// kernel runs; a random suffix then mixes repeats in random order.
+	order := rng.Perm(len(axes))
+	steps := len(axes) - rng.Intn(6) // 6..11 distinct-axis steps
+	for i := 0; i < steps; i++ {
+		b.WriteString("/")
+		b.WriteString(axes[order[i]])
+		b.WriteString("::")
+		// Bias toward name tests: they are what the fused axis+test kernel
+		// intersects as a per-label bitset.
+		if rng.Intn(10) < 7 {
+			b.WriteString(Labels[rng.Intn(len(Labels))])
+		} else {
+			b.WriteString(nodeTests[rng.Intn(len(nodeTests))])
+		}
+		switch rng.Intn(6) {
+		case 0: // existence predicate: one more axis+test pair per step
+			fmt.Fprintf(&b, "[%s::%s]", axes[rng.Intn(len(axes))], nodeTests[rng.Intn(len(nodeTests))])
+		case 1: // id(path) predicate: the twelfth axis inside the chain
+			fmt.Fprintf(&b, "[id(%s::%s)]", axes[rng.Intn(len(axes))], Labels[rng.Intn(len(Labels))])
+		}
+	}
+	return b.String()
+}
+
 // genPath emits a location path; absolute paths may carry filter heads.
 func genPath(rng *rand.Rand, depth int, cfg Config, absolute bool) string {
 	var b strings.Builder

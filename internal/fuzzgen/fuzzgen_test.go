@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	axespkg "repro/internal/axes"
 	"repro/internal/syntax"
 )
 
@@ -85,5 +86,36 @@ func TestQueryVariety(t *testing.T) {
 	if scalars == 0 || unions == 0 || preds == 0 || heads == 0 {
 		t.Errorf("variety collapsed: scalars=%d unions=%d preds=%d filter-heads=%d",
 			scalars, unions, preds, heads)
+	}
+}
+
+// TestAxisChainQueriesCompileAndCoverAxes: every generated axis chain must
+// compile, and across a modest sample all twelve axes (the eleven
+// structural ones as steps, the id-axis via the syntax tree's id()
+// rewriting) must appear — the coverage guarantee the fused-kernel
+// differential suite relies on.
+func TestAxisChainQueriesCompileAndCoverAxes(t *testing.T) {
+	n := 600
+	if testing.Short() {
+		n = 200
+	}
+	rng := rand.New(rand.NewSource(9))
+	seen := make(map[axespkg.Axis]int)
+	for i := 0; i < n; i++ {
+		src := AxisChainQuery(rng)
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for _, e := range q.Nodes {
+			if s, ok := e.(*syntax.Step); ok {
+				seen[s.Axis]++
+			}
+		}
+	}
+	for _, a := range axespkg.All() {
+		if seen[a] == 0 {
+			t.Errorf("axis %v never generated across %d chains", a, n)
+		}
 	}
 }

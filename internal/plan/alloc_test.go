@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/syntax"
+	"repro/internal/workload"
+)
+
+// TestWarmEvaluateAllocs pins the steady-state allocation count of compiled
+// plan evaluation, so alloc regressions in the VM or the axis kernels fail
+// CI rather than silently eroding the zero-alloc design:
+//
+//   - a node-set query costs exactly 2 allocations per warm evaluation —
+//     the result-detach Clone (one Set header + one word slice) that hands
+//     the caller a set independent of the machine's reusable arena;
+//   - a scalar query costs exactly 0: registers, arena sets, candidate
+//     buffers and axis-kernel scratch are all pooled with the machine.
+//
+// If an intentional change moves these constants, update them here together
+// with the ownership rules documented in the README.
+func TestWarmEvaluateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact pins run in the non-race job")
+	}
+	doc := workload.Scaled(400)
+	e := New()
+	ctx := engine.RootContext(doc)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"/descendant::b[child::d]/child::c", 2}, // fused steps, sat-set predicate
+		{"//b[.//d]//c", 2},                      // descendant-heavy chain
+		{"/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]", 2}, // positional loop
+		{"count(//b)", 0},   // scalar result: nothing to detach
+		{"sum(//b/d)", 0},   // scalar over a two-step path
+		{"boolean(//e)", 0}, // satisfaction-set program
+	}
+	for _, c := range cases {
+		q, err := syntax.Compile(c.src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.src, err)
+		}
+		// Warm the plan cache, the machine pool and the arena.
+		for i := 0; i < 5; i++ {
+			if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+				t.Fatalf("evaluate %q: %v", c.src, err)
+			}
+		}
+		got := testing.AllocsPerRun(50, func() {
+			if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+				t.Fatalf("evaluate %q: %v", c.src, err)
+			}
+		})
+		if got != c.want {
+			t.Errorf("%q: %v allocs/op on warm evaluation, want %v", c.src, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates and would invalidate exact allocs/op
+// pins.
+const raceEnabled = true

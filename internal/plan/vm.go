@@ -75,6 +75,10 @@ type machine struct {
 	// bufs is a free list of candidate-list buffers for OpStepSel and
 	// OpFilterList.
 	bufs [][]*xmltree.Node
+	// sc is the axis-kernel scratch arena threaded through every step and
+	// inverse-step instruction of the program; it rebinds itself when the
+	// machine is reset onto a different document.
+	sc axes.Scratch
 }
 
 func (m *machine) reset(p *Program, doc *xmltree.Document) {
@@ -97,6 +101,7 @@ func (m *machine) reset(p *Program, doc *xmltree.Document) {
 		// candidate buffers keep node pointers beyond their zero length.
 		m.arena = nil
 		m.bufs = nil
+		m.sc.Release()
 	}
 	m.arenaN = 0
 	m.st = engine.Stats{}
@@ -187,11 +192,15 @@ func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Valu
 			R[in.Dst] = values.NodeSet(m.step(in, R[in.C].Set))
 		case OpStepInv:
 			m.st.AxisCalls++
-			R[in.Dst] = values.NodeSet(axes.ApplyInverse(axes.Axis(in.A), R[in.C].Set))
+			s := m.newSet()
+			axes.ApplyInverseInto(s, axes.Axis(in.A), R[in.C].Set, &m.sc)
+			R[in.Dst] = values.NodeSet(s)
 		case OpTestFilter:
 			s := R[in.C].Set
 			if in.Dst != in.C {
-				s = s.Clone()
+				fresh := m.newSet()
+				fresh.CopyFrom(s)
+				s = fresh
 			}
 			s.IntersectWith(engine.TestSet(m.doc, m.prog.Tests[in.B]))
 			R[in.Dst] = values.NodeSet(s)
@@ -273,7 +282,9 @@ func (m *machine) step(in *Instr, src *xmltree.Set) *xmltree.Set {
 		m.putBuf(z)
 		return out
 	}
-	return engine.StepImage(&m.st, axis, test, src)
+	out := m.newSet()
+	engine.StepImageInto(&m.st, out, axis, test, src, &m.sc)
+	return out
 }
 
 // scanCmp executes the whole-document string-value comparison scan.

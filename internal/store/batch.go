@@ -39,6 +39,13 @@ type DocResult struct {
 // summed instrumentation counters. The result order is deterministic
 // (sorted IDs, or the order of opts.IDs) regardless of scheduling: workers
 // claim documents from an atomic cursor and write results by index.
+//
+// Evaluation scratch memory is reused per worker, not per document: the
+// engines pool their per-evaluation state (the compiled engine its VM
+// machines — register file, set arena, axis-kernel scratch — and the
+// interpreters their axes.Scratch arenas), and with k workers exactly k
+// pool entries circulate, so a batch's steady state allocates no
+// per-evaluation scratch at all.
 func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.Stats) {
 	items := s.batchItems(opts.IDs)
 	results := make([]DocResult, len(items))

@@ -67,4 +67,9 @@ func (d *Document) InternLabels(in *Interner) {
 		byLabel[in.Intern(k)] = v
 	}
 	d.byLabel = byLabel
+	// Keep the flat label table canonical too, so LabelByID returns the
+	// interned copy and per-document strings become collectable.
+	for i, l := range d.labels {
+		d.labels[i] = in.Intern(l)
+	}
 }

@@ -16,6 +16,7 @@ package xmltree
 import (
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // Node is a single node of the document tree. The zero value is not useful;
@@ -199,6 +200,14 @@ type Document struct {
 	allElems *Set // T(*): every node except the document root
 	allNodes *Set // node(): every node including the document root
 	emptySet *Set // shared T(t) for labels absent from the document
+
+	// Flat structure-of-arrays tree encoding (see topology.go) plus the
+	// always-on per-document label table backing it: labels[id] is the
+	// canonical string of dense label ID id, labelSets[id] its T(t) bitset.
+	topo      Topology
+	labels    []string
+	labelIDs  map[string]int32
+	labelSets []*Set
 }
 
 // Root returns the synthetic document root (the node selected by "/").
@@ -233,6 +242,65 @@ func (d *Document) DerefIDs(s string) *Set {
 		}
 	}
 	return out
+}
+
+// DerefIDsInto adds deref_ids(s) to dst. It is the allocation-free form of
+// DerefIDs used by the axis kernels: the key list is tokenized in place
+// (same whitespace classes as strings.Fields) and dst is not cleared.
+func (d *Document) DerefIDsInto(dst *Set, s string) {
+	forEachField(s, func(key string) bool {
+		if n := d.ids[key]; n != nil {
+			dst.AddPre(n.pre)
+		}
+		return true
+	})
+}
+
+// DerefIDsIntersect reports whether deref_ids(s) ∩ y ≠ ∅ without
+// materializing the dereferenced set.
+func (d *Document) DerefIDsIntersect(s string, y *Set) bool {
+	hit := false
+	forEachField(s, func(key string) bool {
+		if n := d.ids[key]; n != nil && y.HasPre(n.pre) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// forEachField calls f for every whitespace-separated field of s (the
+// fields strings.Fields would return), stopping early when f returns false.
+func forEachField(s string, f func(string) bool) {
+	start := -1
+	for i, r := range s {
+		if isSpaceRune(r) {
+			if start >= 0 {
+				if !f(s[start:i]) {
+					return
+				}
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		f(s[start:])
+	}
+}
+
+// isSpaceRune mirrors unicode.IsSpace for the rune classes strings.Fields
+// splits on, with the ASCII fast path inlined.
+func isSpaceRune(r rune) bool {
+	switch r {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	case 0x85, 0xA0:
+		return true
+	}
+	return r > 0xFF && unicode.IsSpace(r)
 }
 
 // LabelSet returns T(t) for a tag name t: the set of nodes labeled t. The
@@ -306,6 +374,7 @@ func (d *Document) finish() {
 			}
 		}
 	}
+	d.buildTopology()
 }
 
 // SortDocOrder sorts a slice of nodes into document order in place.

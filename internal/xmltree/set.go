@@ -11,20 +11,32 @@ import (
 // and iteration enumerates nodes in document order (or reverse document
 // order), which the axis functions and position/size loops require.
 //
+// The cardinality is maintained eagerly by every mutating method, so all
+// read methods (Len, IsEmpty, Has, iteration, …) are pure and safe for any
+// number of concurrent readers once mutation has ceased. (An earlier lazy
+// Len cache wrote the set on a read path — a data race when a shared result
+// set was read concurrently.)
+//
 // The zero value is not useful; use NewSet.
 type Set struct {
 	doc   *Document
 	words []uint64
-	n     int // cached cardinality; -1 when stale
+	n     int // cardinality, maintained eagerly by all mutators
 }
 
 // NewSet returns an empty set over the given document's nodes.
 func NewSet(doc *Document) *Set {
-	return &Set{doc: doc, words: make([]uint64, (doc.NumNodes()+63)/64), n: 0}
+	return &Set{doc: doc, words: make([]uint64, (doc.NumNodes()+63)/64)}
 }
 
 // Document returns the document this set draws its nodes from.
 func (s *Set) Document() *Document { return s.doc }
+
+// Words exposes the set's backing bit words (bit i of word w is the node
+// with pre index w*64+i). The slice is the live backing store: callers must
+// treat it as read-only, and writes to the set invalidate derived counts.
+// It exists for the word-at-a-time axis kernels of internal/axes.
+func (s *Set) Words() []uint64 { return s.words }
 
 // Add inserts the node into the set.
 func (s *Set) Add(node *Node) { s.AddPre(node.pre) }
@@ -34,20 +46,45 @@ func (s *Set) AddPre(pre int) {
 	w, b := pre/64, uint(pre%64)
 	if s.words[w]&(1<<b) == 0 {
 		s.words[w] |= 1 << b
-		if s.n >= 0 {
-			s.n++
-		}
+		s.n++
 	}
 }
 
+// AddRange inserts every node with pre index in [lo, hi), word-parallel.
+func (s *Set) AddRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << uint(lo%64)
+	hiMask := ^uint64(0) >> uint(63-(hi-1)%64)
+	if loW == hiW {
+		s.orWord(loW, loMask&hiMask)
+		return
+	}
+	s.orWord(loW, loMask)
+	for w := loW + 1; w < hiW; w++ {
+		s.orWord(w, ^uint64(0))
+	}
+	s.orWord(hiW, hiMask)
+}
+
+// orWord ORs a mask into one word, keeping the cardinality exact.
+func (s *Set) orWord(w int, mask uint64) {
+	old := s.words[w]
+	s.words[w] = old | mask
+	s.n += bits.OnesCount64(mask &^ old)
+}
+
 // Remove deletes the node from the set.
-func (s *Set) Remove(node *Node) {
-	w, b := node.pre/64, uint(node.pre%64)
+func (s *Set) Remove(node *Node) { s.RemovePre(node.pre) }
+
+// RemovePre deletes the node with the given document-order index.
+func (s *Set) RemovePre(pre int) {
+	w, b := pre/64, uint(pre%64)
 	if s.words[w]&(1<<b) != 0 {
 		s.words[w] &^= 1 << b
-		if s.n >= 0 {
-			s.n--
-		}
+		s.n--
 	}
 }
 
@@ -60,36 +97,24 @@ func (s *Set) HasPre(pre int) bool {
 	return s.words[pre/64]&(1<<uint(pre%64)) != 0
 }
 
-// Len returns the number of nodes in the set.
-func (s *Set) Len() int {
-	if s.n < 0 {
-		n := 0
-		for _, w := range s.words {
-			n += bits.OnesCount64(w)
-		}
-		s.n = n
-	}
-	return s.n
-}
+// Len returns the number of nodes in the set. It is a pure read.
+func (s *Set) Len() int { return s.n }
 
 // IsEmpty reports whether the set contains no nodes.
-func (s *Set) IsEmpty() bool {
-	if s.n >= 0 {
-		return s.n == 0
-	}
-	for _, w := range s.words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (s *Set) IsEmpty() bool { return s.n == 0 }
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
 	w := make([]uint64, len(s.words))
 	copy(w, s.words)
 	return &Set{doc: s.doc, words: w, n: s.n}
+}
+
+// CopyFrom makes s an exact copy of t (both over the same document),
+// reusing s's backing words.
+func (s *Set) CopyFrom(t *Set) {
+	copy(s.words, t.words)
+	s.n = t.n
 }
 
 // Clear removes all nodes from the set.
@@ -102,26 +127,35 @@ func (s *Set) Clear() {
 
 // UnionWith adds every node of t to s (s ∪= t).
 func (s *Set) UnionWith(t *Set) {
+	n := 0
 	for i, w := range t.words {
-		s.words[i] |= w
+		v := s.words[i] | w
+		s.words[i] = v
+		n += bits.OnesCount64(v)
 	}
-	s.n = -1
+	s.n = n
 }
 
 // IntersectWith removes from s every node not in t (s ∩= t).
 func (s *Set) IntersectWith(t *Set) {
+	n := 0
 	for i := range s.words {
-		s.words[i] &= t.words[i]
+		v := s.words[i] & t.words[i]
+		s.words[i] = v
+		n += bits.OnesCount64(v)
 	}
-	s.n = -1
+	s.n = n
 }
 
 // SubtractWith removes from s every node in t (s −= t).
 func (s *Set) SubtractWith(t *Set) {
+	n := 0
 	for i := range s.words {
-		s.words[i] &^= t.words[i]
+		v := s.words[i] &^ t.words[i]
+		s.words[i] = v
+		n += bits.OnesCount64(v)
 	}
-	s.n = -1
+	s.n = n
 }
 
 // Union returns a new set s ∪ t.
@@ -140,6 +174,9 @@ func (s *Set) Intersect(t *Set) *Set {
 
 // Equal reports whether s and t contain exactly the same nodes.
 func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
 	for i := range s.words {
 		if s.words[i] != t.words[i] {
 			return false
@@ -161,22 +198,38 @@ func (s *Set) Intersects(t *Set) bool {
 // First returns the first node of the set in document order
 // (first_<doc of §2.1), or nil if the set is empty.
 func (s *Set) First() *Node {
-	for i, w := range s.words {
-		if w != 0 {
-			return s.doc.nodes[i*64+bits.TrailingZeros64(w)]
-		}
+	if pre := s.FirstPre(); pre >= 0 {
+		return s.doc.nodes[pre]
 	}
 	return nil
 }
 
-// Last returns the last node of the set in document order, or nil.
-func (s *Set) Last() *Node {
-	for i := len(s.words) - 1; i >= 0; i-- {
-		if w := s.words[i]; w != 0 {
-			return s.doc.nodes[i*64+63-bits.LeadingZeros64(w)]
+// FirstPre returns the pre index of the first node in document order, or -1.
+func (s *Set) FirstPre() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
 		}
 	}
+	return -1
+}
+
+// Last returns the last node of the set in document order, or nil.
+func (s *Set) Last() *Node {
+	if pre := s.LastPre(); pre >= 0 {
+		return s.doc.nodes[pre]
+	}
 	return nil
+}
+
+// LastPre returns the pre index of the last node in document order, or -1.
+func (s *Set) LastPre() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // ForEach calls f for every node of the set in document order.
@@ -185,6 +238,17 @@ func (s *Set) ForEach(f func(*Node)) {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			f(s.doc.nodes[i*64+b])
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// ForEachPre calls f for every member's pre index in document order.
+func (s *Set) ForEachPre(f func(int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(i*64 + b)
 			w &^= 1 << uint(b)
 		}
 	}
