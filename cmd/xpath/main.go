@@ -40,6 +40,8 @@ func main() {
 		fragment   = flag.Bool("fragment", false, "print the query's fragment classification")
 		normalized = flag.Bool("normalized", false, "print the normalized (unabbreviated) query")
 		explain    = flag.Bool("explain", false, "print the OPTMINCONTEXT evaluation plan and the compiled instruction listing")
+		analyze    = flag.Bool("analyze", false, "EXPLAIN ANALYZE: run the query traced and print the instruction listing annotated with observed calls, cardinalities and timings (batch mode: print the aggregated evaluation trace)")
+		metricsOut = flag.Bool("metrics", false, "print the process metrics registry after the run")
 		storePath  = flag.String("store", "", "corpus: directory of *.xml files, or a corpus snapshot file (batch mode)")
 		workers    = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		saveStore  = flag.String("savestore", "", "write the loaded corpus as a snapshot to this file")
@@ -60,12 +62,18 @@ func main() {
 		} else if *explain || *fragment || *normalized {
 			err = fmt.Errorf("-store is incompatible with the single-document flags -explain, -fragment and -normalized")
 		} else {
-			err = runBatch(flag.Arg(0), *engineName, *storePath, *saveStore, *workers, *stats)
+			err = runBatch(flag.Arg(0), *engineName, *storePath, *saveStore, *workers, *stats, *analyze)
 		}
 	} else if *saveStore != "" {
 		err = fmt.Errorf("-savestore requires -store")
 	} else {
-		err = run(flag.Arg(0), *engineName, *file, *contextID, *stats, *fragment, *normalized, *explain)
+		err = run(flag.Arg(0), *engineName, *file, *contextID, *stats, *fragment, *normalized, *explain, *analyze)
+	}
+	if *metricsOut {
+		fmt.Println("metrics:")
+		if werr := xpath.WriteMetricsText(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xpath:", err)
@@ -120,7 +128,7 @@ func loadStore(path string) (*xpath.Store, error) {
 	return st, nil
 }
 
-func runBatch(querySrc, engineName, storePath, saveStore string, workers int, stats bool) error {
+func runBatch(querySrc, engineName, storePath, saveStore string, workers int, stats, analyze bool) error {
 	eng, ok := xpath.EngineByName(engineName)
 	if !ok {
 		return fmt.Errorf("unknown engine %q", engineName)
@@ -143,7 +151,13 @@ func runBatch(querySrc, engineName, storePath, saveStore string, workers int, st
 		}
 		fmt.Printf("saved %d document(s) to %s\n", st.Len(), saveStore)
 	}
-	batch, err := st.Query(querySrc, xpath.BatchOptions{Engine: eng, Workers: workers})
+	var rec *xpath.TraceRecorder
+	opts := xpath.BatchOptions{Engine: eng, Workers: workers}
+	if analyze {
+		rec = xpath.NewTraceRecorder()
+		opts.Tracer = rec
+	}
+	batch, err := st.Query(querySrc, opts)
 	if err != nil {
 		return err
 	}
@@ -159,6 +173,9 @@ func runBatch(querySrc, engineName, storePath, saveStore string, workers int, st
 		}
 	}
 	fmt.Printf("%d document(s), %d error(s)\n", len(batch.Docs), batch.Errs())
+	if rec != nil {
+		fmt.Print(xpath.RenderTrace(rec.Rows()))
+	}
 	if stats {
 		s := batch.Stats()
 		fmt.Printf("stats: cells=%d contexts=%d axis-calls=%d\n",
@@ -170,7 +187,7 @@ func runBatch(querySrc, engineName, storePath, saveStore string, workers int, st
 	return nil
 }
 
-func run(querySrc, engineName, file, contextID string, stats, fragment, normalized, explain bool) error {
+func run(querySrc, engineName, file, contextID string, stats, fragment, normalized, explain, analyze bool) error {
 	eng, ok := xpath.EngineByName(engineName)
 	if !ok {
 		return fmt.Errorf("unknown engine %q", engineName)
@@ -203,6 +220,13 @@ func run(querySrc, engineName, file, contextID string, stats, fragment, normaliz
 	if explain {
 		fmt.Print(q.Explain())
 		fmt.Print(q.ExplainPlan())
+	}
+	if analyze {
+		out, err := q.ExplainAnalyze(doc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
 	}
 
 	opts := xpath.Options{Engine: eng}

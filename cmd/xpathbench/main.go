@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E16) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E17) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -9,7 +9,11 @@
 // (Core XPath), E10 Corollary 11, E11/E12 §3.1 ablations, E13 differential
 // agreement, E14 compiled plans vs. interpretation, E15 parallel batch and
 // single-document evaluation scaling, E16 flat-topology axis kernels
-// before/after (with -e16-json emission).
+// before/after (with -e16-json emission), E17 observability-layer tracing
+// off/on (with -e17-json emission, metrics registry snapshot embedded).
+//
+// -metrics-json additionally writes the process metrics registry —
+// populated by whatever experiments ran — to a standalone JSON file.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	xpath "repro"
 	"repro/internal/bench"
 )
 
@@ -30,6 +35,8 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
 		maxDbl  = flag.Int("max-doubling", 20, "last i of the E5 doubling-query family")
 		e16json = flag.String("e16-json", "BENCH_E16.json", "output path for the E16 before/after rows (empty disables)")
+		e17json = flag.String("e17-json", "BENCH_E17.json", "output path for the E17 tracing off/on rows (empty disables)")
+		mjson   = flag.String("metrics-json", "", "write the process metrics registry as JSON to this file after the run")
 	)
 	flag.Parse()
 
@@ -46,7 +53,8 @@ func main() {
 
 	w := os.Stdout
 	if *exps == "all" {
-		bench.RunAll(w, cfg, *e16json)
+		bench.RunAll(w, cfg, *e16json, *e17json)
+		writeMetrics(w, *mjson)
 		return
 	}
 	for _, name := range strings.Split(*exps, ",") {
@@ -91,11 +99,42 @@ func main() {
 				}
 				fmt.Fprintf(w, "wrote %s\n", *e16json)
 			}
+		case "e17":
+			t, rows := bench.E17(cfg)
+			t.Print(w)
+			if *e17json != "" {
+				if err := bench.WriteE17JSON(*e17json, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "xpathbench: write E17 JSON:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *e17json)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e16)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e17)\n", name)
 			os.Exit(2)
 		}
 	}
+	writeMetrics(w, *mjson)
+}
+
+// writeMetrics dumps the process metrics registry — populated by whatever
+// experiments just ran — as a standalone JSON file.
+func writeMetrics(w *os.File, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = xpath.WriteMetricsJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpathbench: write metrics JSON:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
 }
 
 func parseSizes(s string) ([]int, error) {

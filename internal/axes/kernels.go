@@ -49,6 +49,17 @@ func (sc *Scratch) Release() {
 	}
 }
 
+// HighWater returns the scratch arena's current high-water mark in bytes
+// (the bitset words held for the sibling-kernel dedup marks). Tracing
+// engines report it in their step spans; the call is allocation-free and a
+// nil Scratch reports 0.
+func (sc *Scratch) HighWater() int64 {
+	if sc == nil || sc.seen == nil {
+		return 0
+	}
+	return int64(len(sc.seen.Words())) * 8
+}
+
 // seenSet returns a cleared mark set over doc, reusing the previous backing
 // memory when the document matches. A nil Scratch allocates a fresh set
 // (the compatibility path of the non-Into wrappers).

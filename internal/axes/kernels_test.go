@@ -204,4 +204,15 @@ func TestKernelAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(20, func() { ApplyInverseInto(dst, ID, x, sc) }); n != 0 {
 		t.Errorf("ApplyInverseInto(id): %v allocs/op, want 0", n)
 	}
+	// HighWater is read on every traced span; it must be allocation-free and
+	// reflect the scratch the sibling kernels just used.
+	if n := testing.AllocsPerRun(20, func() { _ = sc.HighWater() }); n != 0 {
+		t.Errorf("Scratch.HighWater: %v allocs/op, want 0", n)
+	}
+	if hw := sc.HighWater(); hw <= 0 {
+		t.Errorf("Scratch.HighWater = %d after sibling kernels ran, want > 0", hw)
+	}
+	if hw := (*Scratch)(nil).HighWater(); hw != 0 {
+		t.Errorf("nil Scratch HighWater = %d, want 0", hw)
+	}
 }

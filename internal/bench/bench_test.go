@@ -80,9 +80,10 @@ func TestExperimentsSmoke(t *testing.T) {
 	cfg := Config{Reps: 1, Sizes: []int{20, 40}, SmallSizes: []int{10, 20}, MaxDouble: 6,
 		Workers: []int{1, 2, 4}, CorpusSizes: []int{12, 24}}
 	var buf bytes.Buffer
-	RunAll(&buf, cfg, filepath.Join(t.TempDir(), "BENCH_E16.json"))
+	dir := t.TempDir()
+	RunAll(&buf, cfg, filepath.Join(dir, "BENCH_E16.json"), filepath.Join(dir, "BENCH_E17.json"))
 	out := buf.String()
-	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %s", want)
 		}

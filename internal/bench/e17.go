@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E17 measures the cost of the observability layer: every end-to-end query
+// of the E16 workload runs on the instrumented engines with tracing off
+// (nil tracer — the production default, one predicted branch per
+// instrumented site) and with tracing on (a shared trace.Recorder receiving
+// per-step / per-opcode spans). The "off" rows are the zero-overhead claim:
+// ns/op within noise of the pre-instrumentation numbers and the identical
+// allocation counts, which plan's TestWarmEvaluateAllocs pins exactly. The
+// "on" rows price a fully traced evaluation.
+//
+// The emitted BENCH_E17.json additionally embeds a snapshot of the process
+// metrics registry taken after the runs, so the registry's own surface
+// (counter/histogram names and shapes) is recorded with the experiment.
+
+// E17Row is one measurement of the E17 tracing off/on comparison.
+type E17Row struct {
+	Name   string  `json:"name"`             // e.g. "e2e/q1/compiled"
+	Mode   string  `json:"mode"`             // "off" (nil tracer) or "on" (recorder attached)
+	NsOp   float64 `json:"ns_per_op"`        // single-threaded nanoseconds per evaluation
+	Allocs float64 `json:"allocs_per_op"`    // allocations per evaluation
+	Param  int     `json:"param,omitempty"`  // |D| of the document used
+	Source string  `json:"source,omitempty"` // query text
+}
+
+// E17 runs the tracing off/on comparison and returns the printable table
+// plus the raw rows for JSON emission.
+func E17(cfg Config) (*Table, []E17Row) {
+	cfg = cfg.Defaults()
+	size := 0
+	for _, n := range cfg.Sizes {
+		if n > size {
+			size = n
+		}
+	}
+	doc := workload.Scaled(size)
+
+	compiled := plan.New()
+	engines := []struct {
+		name string
+		eng  engine.Engine
+	}{
+		{"compiled", compiled},
+		{"corexpath", corexpath.New()},
+		{"optmincontext", core.NewOptMinContext()},
+	}
+
+	var rows []E17Row
+	rec := trace.NewRecorder()
+	for qi, src := range e16Queries() {
+		q := mustCompile(src)
+		if _, err := compiled.Plan(q); err != nil {
+			panic(fmt.Sprintf("bench: plan %q: %v", src, err))
+		}
+		for _, e := range engines {
+			if _, _, err := e.eng.Evaluate(q, doc, engine.RootContext(doc)); err != nil {
+				continue // outside the engine's fragment
+			}
+			off := func() {
+				if _, _, err := e.eng.Evaluate(q, doc, engine.RootContext(doc)); err != nil {
+					panic(err)
+				}
+			}
+			on := func() {
+				ctx := engine.RootContext(doc)
+				ctx.Tracer = rec
+				if _, _, err := e.eng.Evaluate(q, doc, ctx); err != nil {
+					panic(err)
+				}
+			}
+			name := fmt.Sprintf("e2e/q%d/%s", qi+1, e.name)
+			rows = append(rows,
+				E17Row{Name: name, Mode: "off", Param: size, Source: src,
+					NsOp: measureNs(off, cfg.Reps), Allocs: testing.AllocsPerRun(20, off)},
+				E17Row{Name: name, Mode: "on", Param: size, Source: src,
+					NsOp: measureNs(on, cfg.Reps), Allocs: testing.AllocsPerRun(20, on)})
+			rec.Reset() // bound the recorder between engines
+		}
+	}
+	return e17Table(rows, size), rows
+}
+
+// e17Table renders the rows: one line per (query, engine), columns for the
+// off/on timings and allocation counts plus the relative tracing overhead.
+func e17Table(rows []E17Row, size int) *Table {
+	type pair struct{ off, on *E17Row }
+	byName := map[string]*pair{}
+	var order []string
+	for i := range rows {
+		r := &rows[i]
+		p, ok := byName[r.Name]
+		if !ok {
+			p = &pair{}
+			byName[r.Name] = p
+			order = append(order, r.Name)
+		}
+		if r.Mode == "off" {
+			p.off = r
+		} else {
+			p.on = r
+		}
+	}
+	cols := []string{"name", "untraced", "traced", "overhead", "allocs untraced", "allocs traced"}
+	params := make([]int, len(order))
+	for i := range params {
+		params[i] = i
+	}
+	t := NewTable(
+		"E17 — observability layer: tracing off/on",
+		fmt.Sprintf("|D| = %d; untraced = nil tracer (production default), traced = shared trace.Recorder; single-threaded ns/op", size),
+		"#", "mixed", params, cols)
+	for i, name := range order {
+		p := byName[name]
+		t.Set("name", i, name)
+		t.Set("untraced", i, formatDuration(time.Duration(p.off.NsOp)))
+		t.Set("traced", i, formatDuration(time.Duration(p.on.NsOp)))
+		t.Set("overhead", i, fmt.Sprintf("%+.1f%%", 100*(p.on.NsOp-p.off.NsOp)/p.off.NsOp))
+		t.Set("allocs untraced", i, fmt.Sprintf("%.1f", p.off.Allocs))
+		t.Set("allocs traced", i, fmt.Sprintf("%.1f", p.on.Allocs))
+	}
+	return t
+}
+
+// WriteE17JSON emits the E17 rows plus a process metrics-registry snapshot
+// as a JSON document (BENCH_E17.json at the repository root).
+func WriteE17JSON(path string, rows []E17Row) error {
+	doc := struct {
+		Experiment string           `json:"experiment"`
+		Unit       string           `json:"unit"`
+		Note       string           `json:"note"`
+		Rows       []E17Row         `json:"rows"`
+		Metrics    metrics.Snapshot `json:"metrics"`
+	}{
+		Experiment: "E17",
+		Unit:       "ns/op, allocs/op (single-threaded)",
+		Note:       "off = nil tracer (one predicted branch per instrumented site); on = shared trace.Recorder receiving per-step/per-opcode spans; metrics = process registry snapshot after the runs",
+		Rows:       rows,
+		Metrics:    metrics.Default().Snapshot(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -544,7 +544,7 @@ func sameBatch(a, b []store.DocResult) bool {
 
 // RunAll executes every experiment and prints the tables. A non-empty
 // e16JSONPath additionally emits the E16 before/after rows as JSON.
-func RunAll(w io.Writer, cfg Config, e16JSONPath string) {
+func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath string) {
 	start := time.Now()
 	E5(cfg).Print(w)
 	E6(cfg).Print(w)
@@ -572,6 +572,15 @@ func RunAll(w io.Writer, cfg Config, e16JSONPath string) {
 			fmt.Fprintf(w, "E16 JSON: %v\n", err)
 		} else {
 			fmt.Fprintf(w, "wrote %s\n", e16JSONPath)
+		}
+	}
+	t17, rows17 := E17(cfg)
+	t17.Print(w)
+	if e17JSONPath != "" {
+		if err := WriteE17JSON(e17JSONPath, rows17); err != nil {
+			fmt.Fprintf(w, "E17 JSON: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", e17JSONPath)
 		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

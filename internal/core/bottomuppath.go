@@ -4,6 +4,7 @@ import (
 	"repro/internal/axes"
 	"repro/internal/engine"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -20,6 +21,16 @@ func (ev *evaluation) evalBottomupPath(id int) {
 		return // already filled (shared subexpression of an earlier pass)
 	}
 	pi, op, scalar := ev.q.BottomUpPath(id)
+	if tr := ev.inCtx.Tracer; tr != nil {
+		t0 := trace.Now()
+		defer func() {
+			tr.Emit(trace.Event{
+				Kind: trace.KindSat, Name: pi.String(), PC: id,
+				In: trace.CardUnknown, Out: trace.CardUnknown,
+				Ns: trace.Now() - t0, HighWater: ev.sc.HighWater(),
+			})
+		}()
+	}
 
 	// Step 1: determine the initial node set Y.
 	var y *xmltree.Set

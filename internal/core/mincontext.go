@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/engine"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -44,12 +45,23 @@ func (ev *evaluation) evalOutermostLocpath(e syntax.Expr, x *xmltree.Set) *xmltr
 // returns the union of the selected nodes — the R := R ∪ Z accumulation of
 // the pseudo-code's outermost case.
 func (ev *evaluation) stepForward(step *syntax.Step, x *xmltree.Set) *xmltree.Set {
+	var t0 int64
+	if ev.inCtx.Tracer != nil {
+		t0 = trace.Now()
+	}
 	out := xmltree.NewSet(ev.doc)
 	ev.stepMap(step, x, func(_ *xmltree.Node, sel []*xmltree.Node) {
 		for _, z := range sel {
 			out.Add(z)
 		}
 	})
+	if tr := ev.inCtx.Tracer; tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.KindStep, Name: step.String(),
+			In: x.Len(), Out: out.Len(), Ns: trace.Now() - t0,
+			HighWater: ev.sc.HighWater(),
+		})
+	}
 	return out
 }
 

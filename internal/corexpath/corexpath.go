@@ -21,6 +21,7 @@ import (
 	"repro/internal/axes"
 	"repro/internal/engine"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -51,7 +52,7 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 		sc = axes.NewScratch()
 	}
 	defer e.scratch.Put(sc)
-	ev := &evaluator{doc: doc, sc: sc}
+	ev := &evaluator{doc: doc, sc: sc, tr: ctx.Tracer}
 	p := q.Root.(*syntax.Path)
 
 	// The main path runs forward over two alternating buffers: every step is
@@ -62,8 +63,20 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 		cur = xmltree.Singleton(doc.Root())
 	}
 	next := xmltree.NewSet(doc)
-	for _, step := range p.Steps {
+	for i, step := range p.Steps {
+		var t0 int64
+		var inCard int
+		if ev.tr != nil {
+			t0, inCard = trace.Now(), cur.Len()
+		}
 		ev.forwardStepInto(next, step, cur)
+		if ev.tr != nil {
+			ev.tr.Emit(trace.Event{
+				Kind: trace.KindStep, Name: step.String(), PC: i,
+				In: inCard, Out: next.Len(), Ns: trace.Now() - t0,
+				HighWater: ev.sc.HighWater(),
+			})
+		}
 		cur, next = next, cur
 	}
 	return values.NodeSet(cur), ev.st, nil
@@ -73,6 +86,7 @@ type evaluator struct {
 	doc *xmltree.Document
 	st  engine.Stats
 	sc  *axes.Scratch
+	tr  trace.Tracer
 }
 
 // forwardStepInto computes χ(X) ∩ T(t) ∩ ⋂ⱼ sat(eⱼ) into dst, in O(|D|).
@@ -112,6 +126,17 @@ func (ev *evaluator) satSet(e syntax.Expr) *xmltree.Set {
 // backward propagation: D_k is the set of nodes that can be the step-k
 // node of a full match; χ⁻¹ chains the steps.
 func (ev *evaluator) pathSat(p *syntax.Path) *xmltree.Set {
+	var t0 int64
+	if ev.tr != nil {
+		t0 = trace.Now()
+		defer func() {
+			ev.tr.Emit(trace.Event{
+				Kind: trace.KindSat, Name: p.String(),
+				In: trace.CardUnknown, Out: trace.CardUnknown,
+				Ns: trace.Now() - t0, HighWater: ev.sc.HighWater(),
+			})
+		}()
+	}
 	cur := ev.doc.AllNodes().Clone()
 	buf := xmltree.NewSet(ev.doc) // alternates with cur through the steps
 	for i := len(p.Steps) - 1; i >= 0; i-- {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/axes"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -18,10 +19,17 @@ import (
 // Context is an XPath evaluation context 〈cn, cp, cs〉 (§2.2). Pos and Size
 // are 1-based; engines that support the wildcard contexts of the Section 6
 // pseudo-code use 0 to mean "∗" (irrelevant).
+//
+// Tracer, when non-nil, receives per-step / per-opcode spans from the
+// engines that support tracing (the plan VM, corexpath, core); a nil Tracer
+// is the strictly zero-cost default — every instrumented site guards its
+// reporting with one nil check, pinned allocation-free by the AllocsPerRun
+// guards.
 type Context struct {
-	Node *xmltree.Node
-	Pos  int
-	Size int
+	Node   *xmltree.Node
+	Pos    int
+	Size   int
+	Tracer trace.Tracer
 }
 
 // RootContext returns the default outermost context 〈root, 1, 1〉.

@@ -1,0 +1,490 @@
+// Package metrics is the engine-wide observability substrate: a registry of
+// cheap, concurrency-safe instruments that every layer of the evaluator
+// reports into (plan cache, XML parse, batch fan-out, parallel split, public
+// evaluations), with mergeable snapshots and ready-made export formats for
+// the ROADMAP's query-service front-end.
+//
+// Three instrument kinds are provided:
+//
+//   - Counter — a monotonically increasing, cache-line-padded striped
+//     counter: increments land on one of several padded cells chosen by a
+//     per-thread random source, so concurrent writers (store batch workers,
+//     parallel evaluation goroutines) do not serialize on one cache line;
+//   - Gauge — a single instantaneous value (cache length, pool size) with
+//     Set/Add/Max;
+//   - Histogram — a fixed-bucket distribution with power-of-two buckets
+//     (bucket i counts values in [2^(i-1), 2^i)), suited to nanosecond
+//     latencies and node-set cardinalities alike. Snapshots are mergeable
+//     across registries and subtractable for interval views.
+//
+// All instrument operations are allocation-free after creation, so they are
+// safe to place on the pinned 0–2-alloc warm evaluation path. The exported
+// views — Snapshot, WriteJSON (expvar-compatible), WritePrometheus and the
+// human WriteText — serve the future HTTP front-end's /stats endpoint with
+// no extra plumbing.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// numStripes is the stripe count of a Counter: enough that a handful of
+// worker goroutines rarely collide, small enough that a counter is 512 B.
+// Must be a power of two.
+const numStripes = 8
+
+// stripe is one padded counter cell. The padding keeps adjacent stripes on
+// distinct cache lines so concurrent Adds do not false-share.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	stripes [numStripes]stripe
+}
+
+// Add increments the counter by d (d must be non-negative for the exported
+// formats to make sense; this is not checked). The stripe is chosen by the
+// runtime's per-thread random source, so concurrent writers spread across
+// cache lines instead of contending on one atomic.
+func (c *Counter) Add(d int64) {
+	c.stripes[rand.Uint64()&(numStripes-1)].v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total. The sum over stripes is not a
+// single atomic snapshot; concurrent increments may or may not be included,
+// which is the usual (and harmless) monotonic-counter semantics.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is an instantaneous value. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Max raises the gauge to v if v exceeds the current value — the high-water
+// update used for scratch-memory marks.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// numBuckets covers all non-negative int64 values: bucket 0 counts zeros,
+// bucket i (1 ≤ i ≤ 63) counts values in [2^(i-1), 2^i).
+const numBuckets = 64
+
+// Histogram is a fixed-bucket distribution with power-of-two buckets. The
+// zero value is ready to use; Observe is one atomic add plus one atomic add
+// to the sum, with no allocation and no locking.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index. Negative values (which the
+// engine's instruments never produce, but a clock step could) clamp to 0.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i (inclusive for
+// bucket 0, which holds only zeros).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns the histogram's current state. Like Counter.Value it is
+// not a single atomic cut, which is fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: total count and
+// sum plus the per-bucket counts. Snapshots are plain values — mergeable
+// (Merge), subtractable (Sub, for interval views) and serializable.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets [numBuckets]int64 `json:"buckets"`
+}
+
+// Merge returns the element-wise sum of two snapshots — the distribution of
+// the union of both observation streams.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Sub returns the snapshot of the observations made after prev was taken
+// (assuming prev was taken from the same histogram earlier).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the observed values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1): the geometric
+// midpoint of the bucket holding the q·Count-th observation. Power-of-two
+// buckets bound the relative error by √2.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << uint(i-1))
+			return lo * math.Sqrt2 // geometric midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return float64(bucketUpper(numBuckets - 1))
+}
+
+// String summarizes the distribution for the human-readable dump.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("count=%d sum=%d mean=%.0f p50≈%.0f p90≈%.0f p99≈%.0f",
+		s.Count, s.Sum, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99))
+}
+
+// Registry is a named collection of instruments. Instruments are created on
+// first use (Counter/Gauge/Histogram are get-or-create) and live for the
+// registry's lifetime; lookups take a read lock, so hot paths should cache
+// the returned instrument pointer in a package variable.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// std is the process-wide default registry every engine layer reports into.
+var std = New()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.histograms[name]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of a whole registry, serializable as
+// JSON and mergeable/subtractable instrument-wise.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Sub returns the interval view: every counter and histogram reduced by its
+// value in prev (gauges keep their instantaneous values).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h.Sub(prev.Histograms[name])
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order, for deterministic
+// output in every export format.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteJSON writes the registry as one JSON object mapping instrument names
+// to values (histograms to their snapshot objects) — the flat shape expvar
+// handlers serve, so the registry can stand in for /debug/vars.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		flat[name] = v
+	}
+	for name, v := range s.Gauges {
+		flat[name] = v
+	}
+	for name, h := range s.Histograms {
+		flat[name] = h
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(flat)
+}
+
+// Expvar returns the registry as an expvar.Func whose String() is the
+// WriteJSON object, so callers can expvar.Publish("xpath", reg.Expvar())
+// and serve the registry through the standard /debug/vars endpoint.
+func (r *Registry) Expvar() expvar.Func {
+	return expvar.Func(func() any {
+		s := r.Snapshot()
+		flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+		for name, v := range s.Counters {
+			flat[name] = v
+		}
+		for name, v := range s.Gauges {
+			flat[name] = v
+		}
+		for name, h := range s.Histograms {
+			flat[name] = h
+		}
+		return flat
+	})
+}
+
+// promName rewrites an instrument name into the Prometheus identifier
+// charset ([a-zA-Z0-9_:]).
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (counters, gauges, and histograms with cumulative power-of-two
+// le buckets), so the future HTTP front-end can serve /stats by calling
+// this on the default registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := promName(name)
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			cum += n
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes a sorted, human-readable dump of the registry — the
+// format the CLI's -metrics flag prints.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-44s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-44s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if _, err := fmt.Fprintf(w, "%-44s %s\n", name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

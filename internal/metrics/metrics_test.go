@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Counter.Value() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Max(5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Max(5) lowered the gauge to %d", got)
+	}
+	g.Max(25)
+	if got := g.Value(); got != 25 {
+		t.Fatalf("Max(25) = %d, want 25", got)
+	}
+	g.Add(-5)
+	if got := g.Value(); got != 20 {
+		t.Fatalf("Add(-5) = %d, want 20", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Zeros land in bucket 0; 1 in bucket 1 ([1,2)); 1000 in bucket 10
+	// ([512,1024)); negatives clamp to bucket 0.
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(-7)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 0+1+1000-7 {
+		t.Fatalf("Sum = %d, want 994", s.Sum)
+	}
+	if s.Buckets[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2 (zero and the clamped negative)", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1", s.Buckets[1])
+	}
+	if s.Buckets[10] != 1 {
+		t.Errorf("bucket 10 = %d, want 1 (1000 ∈ [512,1024))", s.Buckets[10])
+	}
+}
+
+func TestHistogramQuantileAndMerge(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 7: [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000) // bucket 17
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 64 || p50 > 128 {
+		t.Errorf("p50 = %v, want within [64,128)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 65536 || p99 > 262144 {
+		t.Errorf("p99 = %v, want within the 100000 bucket neighborhood", p99)
+	}
+	merged := s.Merge(s)
+	if merged.Count != 2*s.Count || merged.Sum != 2*s.Sum {
+		t.Errorf("Merge: count/sum = %d/%d, want doubled", merged.Count, merged.Sum)
+	}
+	if diff := merged.Sub(s); diff.Count != s.Count || diff.Sum != s.Sum {
+		t.Errorf("Sub: count/sum = %d/%d, want original", diff.Count, diff.Sum)
+	}
+}
+
+func TestRegistrySnapshotAndSub(t *testing.T) {
+	r := New()
+	r.Counter("a.hits").Add(3)
+	r.Gauge("a.len").Set(7)
+	r.Histogram("a.ns").Observe(100)
+
+	prev := r.Snapshot()
+	r.Counter("a.hits").Add(2)
+	r.Histogram("a.ns").Observe(200)
+	cur := r.Snapshot()
+
+	if cur.Counters["a.hits"] != 5 {
+		t.Fatalf("counter = %d, want 5", cur.Counters["a.hits"])
+	}
+	d := cur.Sub(prev)
+	if d.Counters["a.hits"] != 2 {
+		t.Errorf("interval counter = %d, want 2", d.Counters["a.hits"])
+	}
+	if d.Histograms["a.ns"].Count != 1 {
+		t.Errorf("interval histogram count = %d, want 1", d.Histograms["a.ns"].Count)
+	}
+	if d.Gauges["a.len"] != 7 {
+		t.Errorf("gauge should keep its instantaneous value, got %d", d.Gauges["a.len"])
+	}
+}
+
+func TestRegistryGetOrCreateIsStable(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter get-or-create returned distinct instruments")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge get-or-create returned distinct instruments")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram get-or-create returned distinct instruments")
+	}
+}
+
+func TestWriteJSONIsExpvarCompatible(t *testing.T) {
+	r := New()
+	r.Counter("plan.cache.hits").Add(4)
+	r.Gauge("plan.cache.len").Set(2)
+	r.Histogram("eval.ns").Observe(1234)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &flat); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if flat["plan.cache.hits"].(float64) != 4 {
+		t.Errorf("hits = %v, want 4", flat["plan.cache.hits"])
+	}
+	if _, ok := flat["eval.ns"].(map[string]any); !ok {
+		t.Errorf("histogram should serialize as an object, got %T", flat["eval.ns"])
+	}
+	// The expvar.Func view must render the same object.
+	if !strings.Contains(r.Expvar().String(), "plan.cache.hits") {
+		t.Error("Expvar() output missing instrument name")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("plan.cache.hits").Add(4)
+	r.Gauge("store.docs").Set(9)
+	h := r.Histogram("eval.ns")
+	h.Observe(100)
+	h.Observe(100)
+	h.Observe(100_000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE plan_cache_hits counter",
+		"plan_cache_hits 4",
+		"# TYPE store_docs gauge",
+		"store_docs 9",
+		"# TYPE eval_ns histogram",
+		`eval_ns_bucket{le="128"} 2`,
+		`eval_ns_bucket{le="+Inf"} 3`,
+		"eval_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing.
+	if !strings.Contains(out, `eval_ns_bucket{le="131072"} 3`) {
+		t.Errorf("cumulative bucket for the 100000 observation missing:\n%s", out)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	var one, two bytes.Buffer
+	if err := r.WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("WriteText output is not deterministic")
+	}
+	if strings.Index(one.String(), "a") > strings.Index(one.String(), "b") {
+		t.Error("WriteText output is not sorted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -57,5 +58,64 @@ func TestWarmEvaluateAllocs(t *testing.T) {
 		if got != c.want {
 			t.Errorf("%q: %v allocs/op on warm evaluation, want %v", c.src, got, c.want)
 		}
+	}
+}
+
+// TestTracedEvaluateAllocs guards both sides of the observability contract:
+// a context whose Tracer field is explicitly nil costs exactly the pinned
+// counts of TestWarmEvaluateAllocs (the nil check is the whole price of the
+// instrumentation), and an attached recorder actually receives per-opcode
+// spans whose timings are coherent.
+func TestTracedEvaluateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; exact pins run in the non-race job")
+	}
+	doc := workload.Scaled(400)
+	e := New()
+	ctx := engine.RootContext(doc)
+	ctx.Tracer = nil // explicit: the zero-cost default
+	q, err := syntax.Compile("/descendant::b[child::d]/child::c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		if _, _, err := e.Evaluate(q, doc, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 2 {
+		t.Errorf("nil-tracer evaluation: %v allocs/op, want the pinned 2", got)
+	}
+
+	rec := trace.NewRecorder()
+	traced := ctx
+	traced.Tracer = rec
+	if _, _, err := e.Evaluate(q, doc, traced); err != nil {
+		t.Fatal(err)
+	}
+	rows := rec.Rows()
+	if len(rows) == 0 {
+		t.Fatal("traced evaluation emitted no spans")
+	}
+	var opcodeRows, totalNs int64
+	for _, r := range rows {
+		if r.Kind != trace.KindOpcode {
+			t.Errorf("VM emitted kind %v, want only opcode spans", r.Kind)
+		}
+		opcodeRows++
+		totalNs += r.Ns
+		if r.Calls <= 0 {
+			t.Errorf("row %+v: non-positive call count", r)
+		}
+	}
+	if opcodeRows < 4 {
+		t.Errorf("only %d distinct instructions traced for a 7-instruction plan", opcodeRows)
+	}
+	if totalNs <= 0 {
+		t.Error("traced spans carry no time")
 	}
 }

@@ -4,7 +4,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/syntax"
+	"repro/internal/trace"
+)
+
+// Process-wide plan-cache instruments (summed over every SourceCache of the
+// process; per-cache views come from the Hits/Misses/Evictions accessors).
+var (
+	mSrcHits   = metrics.Default().Counter("plan.source_cache.hits")
+	mSrcMisses = metrics.Default().Counter("plan.source_cache.misses")
+	mSrcEvicts = metrics.Default().Counter("plan.source_cache.evictions")
+	mSrcLen    = metrics.Default().Gauge("plan.source_cache.len")
+	mCompileNs = metrics.Default().Histogram("plan.compile_ns")
 )
 
 // planCache maps compiled queries to their programs. Keys are *syntax.Query
@@ -67,6 +79,11 @@ func (c *planCache) put(q *syntax.Query, p *Program) {
 type CachedQuery struct {
 	Query *syntax.Query
 	Prog  *Program
+
+	// lastUsed is the cache's logical clock value at this entry's most
+	// recent hit (or its insertion). It is updated under the cache's read
+	// lock, so it must be atomic; eviction scans it under the write lock.
+	lastUsed atomic.Int64
 }
 
 // SourceCache is a concurrency-safe compiled-plan cache keyed by query
@@ -83,6 +100,14 @@ type SourceCache struct {
 	cap      int
 	m        map[string]*CachedQuery
 	compiles atomic.Int64
+
+	// tick is the cache's logical clock: every hit and insert advances it
+	// and stamps the entry, giving eviction a least-recently-used order
+	// without promoting entries under the write lock.
+	tick      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewSourceCache returns a cache bounded to roughly capacity entries
@@ -95,15 +120,37 @@ func NewSourceCache(capacity int) *SourceCache {
 }
 
 // Get returns the cached compilation of src, compiling and caching on a
-// miss.
+// miss. Hits refresh the entry's recency stamp; when the cache is full, the
+// least recently used entry is evicted to make room — a full cache serving
+// its working set never discards a hot entry for a newly seen source's sake
+// of anything but the coldest slot.
 func (c *SourceCache) Get(src string) (*CachedQuery, error) {
+	return c.getTraced(src, nil)
+}
+
+// GetTraced is Get with an optional tracer: a cache miss that compiles
+// emits one KindCompile span (named by the source) carrying the compile
+// time. tr may be nil.
+func (c *SourceCache) GetTraced(src string, tr trace.Tracer) (*CachedQuery, error) {
+	return c.getTraced(src, tr)
+}
+
+func (c *SourceCache) getTraced(src string, tr trace.Tracer) (*CachedQuery, error) {
 	c.mu.RLock()
 	e := c.m[src]
+	if e != nil {
+		e.lastUsed.Store(c.tick.Add(1))
+	}
 	c.mu.RUnlock()
 	if e != nil {
+		c.hits.Add(1)
+		mSrcHits.Add(1)
 		return e, nil
 	}
+	c.misses.Add(1)
+	mSrcMisses.Add(1)
 	c.compiles.Add(1)
+	t0 := trace.Now()
 	q, err := syntax.Compile(src)
 	if err != nil {
 		return nil, err
@@ -112,21 +159,66 @@ func (c *SourceCache) Get(src string) (*CachedQuery, error) {
 	if err != nil {
 		return nil, err
 	}
+	compileNs := trace.Now() - t0
+	mCompileNs.Observe(compileNs)
+	if tr != nil {
+		tr.Emit(trace.Event{
+			Kind: trace.KindCompile, Name: src,
+			In: trace.CardUnknown, Out: trace.CardUnknown, Ns: compileNs,
+		})
+	}
 	fresh := &CachedQuery{Query: q, Prog: p}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e := c.m[src]; e != nil {
+		e.lastUsed.Store(c.tick.Add(1))
 		return e, nil // a concurrent miss won the race; converge on it
 	}
 	if len(c.m) >= c.cap {
-		for k := range c.m {
-			delete(c.m, k)
-			break
-		}
+		c.evictLRULocked()
 	}
+	fresh.lastUsed.Store(c.tick.Add(1))
 	c.m[src] = fresh
+	mSrcLen.Add(1)
 	return fresh, nil
 }
+
+// evictLRULocked removes the entry with the oldest recency stamp. The O(cap)
+// scan runs only on insertion into a full cache — by then a compile (orders
+// of magnitude more work) has already happened, so the scan is noise.
+func (c *SourceCache) evictLRULocked() {
+	var victim string
+	found := false
+	oldest := int64(1<<63 - 1)
+	for k, e := range c.m {
+		if lu := e.lastUsed.Load(); lu < oldest {
+			oldest, victim, found = lu, k, true
+		}
+	}
+	if found {
+		delete(c.m, victim)
+		c.evictions.Add(1)
+		mSrcEvicts.Add(1)
+		mSrcLen.Add(-1)
+	}
+}
+
+// Contains reports whether src is cached, without refreshing its recency or
+// touching the hit/miss counters (a pure peek, for tests and diagnostics).
+func (c *SourceCache) Contains(src string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[src] != nil
+}
+
+// Hits returns how many Gets were served from the cache.
+func (c *SourceCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many Gets had to compile.
+func (c *SourceCache) Misses() int64 { return c.misses.Load() }
+
+// Evictions returns how many entries were displaced by capacity pressure.
+func (c *SourceCache) Evictions() int64 { return c.evictions.Load() }
 
 // Len returns the number of cached entries.
 func (c *SourceCache) Len() int {

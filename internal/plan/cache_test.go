@@ -94,6 +94,70 @@ func TestSourceCacheBound(t *testing.T) {
 	}
 }
 
+// TestSourceCacheLRU pins the eviction policy: a full cache displaces its
+// least recently used entry, never the hottest one. (The first version of
+// this cache evicted an arbitrary map entry at capacity, so a full cache
+// serving a hot working set could silently drop its hottest plan on any
+// insert; the recency stamps make eviction deterministic.)
+func TestSourceCacheLRU(t *testing.T) {
+	cache := NewSourceCache(3)
+	srcs := []string{`/child::a`, `/child::b`, `/child::c`}
+	for _, src := range srcs {
+		if _, err := cache.Get(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a and c so b is the least recently used entry.
+	for _, src := range []string{srcs[0], srcs[2]} {
+		if _, err := cache.Get(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cache.Get(`/child::d`); err != nil { // displaces exactly one entry
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache has %d entries after eviction, want 3", cache.Len())
+	}
+	for _, want := range []string{srcs[0], srcs[2], `/child::d`} {
+		if !cache.Contains(want) {
+			t.Errorf("recently used %q was evicted", want)
+		}
+	}
+	if cache.Contains(srcs[1]) {
+		t.Errorf("LRU entry %q survived eviction", srcs[1])
+	}
+	if got := cache.Evictions(); got != 1 {
+		t.Errorf("Evictions() = %d, want 1", got)
+	}
+}
+
+// TestSourceCacheCounters checks the hit/miss accessors: misses equal the
+// distinct sources compiled, hits the repeat traffic, and Contains is a
+// pure peek (no counter movement, no recency refresh).
+func TestSourceCacheCounters(t *testing.T) {
+	cache := NewSourceCache(8)
+	for i := 0; i < 3; i++ {
+		if _, err := cache.Get(`/child::a`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cache.Get(`/child::b`); err != nil {
+		t.Fatal(err)
+	}
+	cache.Contains(`/child::a`)
+	cache.Contains(`/child::zzz`)
+	if h, m := cache.Hits(), cache.Misses(); h != 2 || m != 2 {
+		t.Errorf("hits=%d misses=%d, want 2 and 2", h, m)
+	}
+	if cache.Evictions() != 0 {
+		t.Errorf("Evictions() = %d, want 0", cache.Evictions())
+	}
+	if cache.Compiles() != 2 {
+		t.Errorf("Compiles() = %d, want 2", cache.Compiles())
+	}
+}
+
 // TestSourceCacheError: invalid queries are not cached and keep failing.
 func TestSourceCacheError(t *testing.T) {
 	cache := NewSourceCache(8)

@@ -131,7 +131,7 @@ var opNames = [...]string{
 	OpCoerceBool: "coercebool", OpCall: "call", OpJump: "jump",
 	OpJumpIfTrue: "jumptrue", OpJumpIfFalse: "jumpfalse", OpStep: "step",
 	OpStepInv: "stepinv", OpTestFilter: "testfilter", OpTestSet: "testset",
-	OpScanCmp: "scancmp",
+	OpScanCmp:  "scancmp",
 	OpUnionSet: "union", OpIntersect: "intersect", OpComplement: "complement",
 	OpBoolGate: "boolgate", OpFilterSet: "filterset", OpFilterList: "filterlist",
 	OpStepSel: "stepsel", OpSatHas: "sathas", OpReturn: "return",
@@ -233,6 +233,16 @@ func (p *Program) blockEnd(b int) int {
 // compiled-engine counterpart of Query.Explain, shown by the CLI's -explain
 // flag. The exact format is not part of the API contract.
 func (p *Program) Disasm() string {
+	return p.DisasmAnnotated(nil)
+}
+
+// DisasmAnnotated renders the instruction listing with a per-instruction
+// annotation appended to each line: annot is called with the block number
+// and the global program counter of the instruction, and whatever non-empty
+// string it returns is printed after the mnemonic. A nil annot (or an annot
+// returning "") yields the plain Disasm listing. EXPLAIN ANALYZE uses it to
+// splice observed call counts, cardinalities and timings into the listing.
+func (p *Program) DisasmAnnotated(annot func(block, pc int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %d instruction(s), %d block(s), %d register(s), %d const(s)\n",
 		len(p.Code), len(p.Blocks), p.NumRegs, len(p.Consts))
@@ -246,7 +256,13 @@ func (p *Program) Disasm() string {
 			}
 			block++
 		}
-		fmt.Fprintf(&b, "  %3d  %s\n", pc, p.disasmInstr(in))
+		fmt.Fprintf(&b, "  %3d  %s", pc, p.disasmInstr(in))
+		if annot != nil {
+			if a := annot(block-1, pc); a != "" {
+				b.WriteString(a)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/axes"
 	"repro/internal/engine"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -45,13 +46,14 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 		m = &machine{}
 	}
 	m.reset(prog, doc)
+	m.tr = ctx.Tracer
 	v, err := m.runBlock(0, ctx.Node, ctx.Pos, ctx.Size)
 	st := m.st
 	if err == nil && v.T == values.KindNodeSet {
 		// Detach the result from the machine's reusable arena.
 		v = values.NodeSet(v.Set.Clone())
 	}
-	m.prog, m.doc = nil, nil
+	m.prog, m.doc, m.tr = nil, nil, nil
 	e.pool.Put(m)
 	return v, st, err
 }
@@ -79,6 +81,10 @@ type machine struct {
 	// inverse-step instruction of the program; it rebinds itself when the
 	// machine is reset onto a different document.
 	sc axes.Scratch
+	// tr, when non-nil, receives one KindOpcode span per executed
+	// instruction. The nil case is the hot path: one predicted branch per
+	// instruction and nothing else (pinned by TestWarmEvaluateAllocs).
+	tr trace.Tracer
 }
 
 func (m *machine) reset(p *Program, doc *xmltree.Document) {
@@ -141,8 +147,14 @@ func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Valu
 	m.st.ContextsEvaluated++
 	code := m.prog.Code
 	R := m.regs
+	tr := m.tr
 	for pc := m.prog.Blocks[block]; pc < len(code); pc++ {
 		in := &code[pc]
+		var t0 int64
+		var opPC, inCard int
+		if tr != nil {
+			t0, opPC, inCard = trace.Now(), pc, m.opInputCard(in)
+		}
 		switch in.Op {
 		case OpConst:
 			R[in.Dst] = m.prog.Consts[in.A]
@@ -258,12 +270,61 @@ func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Valu
 		case OpSatHas:
 			R[in.Dst] = values.Boolean(R[in.A].Set.Has(cn))
 		case OpReturn:
+			if tr != nil {
+				m.emitOp(block, opPC, in, inCard, t0)
+			}
 			return R[in.A], nil
 		default:
 			return values.Value{}, fmt.Errorf("plan: vm: unknown opcode %v", in.Op)
 		}
+		if tr != nil {
+			m.emitOp(block, opPC, in, inCard, t0)
+		}
 	}
 	return values.Value{}, fmt.Errorf("plan: vm: block %d fell off the end", block)
+}
+
+// setCard returns the cardinality of a node-set value, CardUnknown for
+// scalars and empty registers.
+func setCard(v values.Value) int {
+	if v.T == values.KindNodeSet && v.Set != nil {
+		return v.Set.Len()
+	}
+	return trace.CardUnknown
+}
+
+// opInputCard returns the cardinality of the instruction's node-set input
+// register, CardUnknown when the opcode has none (constants, context
+// loads). Only called when tracing is on.
+func (m *machine) opInputCard(in *Instr) int {
+	switch in.Op {
+	case OpConst, OpCtxNode, OpRootSet, OpEmptySet, OpPosition, OpLast,
+		OpTestSet, OpScanCmp, OpJump:
+		return trace.CardUnknown
+	case OpMove, OpNegate, OpCoerceBool, OpSatHas, OpReturn:
+		return setCard(m.regs[in.A])
+	case OpUnionSet, OpIntersect:
+		return setCard(m.regs[in.B])
+	case OpJumpIfTrue, OpJumpIfFalse:
+		return setCard(m.regs[in.B])
+	default:
+		return setCard(m.regs[in.C])
+	}
+}
+
+// emitOp reports one executed instruction as a KindOpcode span; the Out
+// cardinality reads the destination register (for OpReturn, the returned
+// register) after execution.
+func (m *machine) emitOp(block, pc int, in *Instr, inCard int, t0 int64) {
+	dst := in.Dst
+	if in.Op == OpReturn {
+		dst = in.A
+	}
+	m.tr.Emit(trace.Event{
+		Kind: trace.KindOpcode, Name: in.Op.String(), Block: block, PC: pc,
+		In: inCard, Out: setCard(m.regs[dst]), Ns: trace.Now() - t0,
+		HighWater: m.sc.HighWater(),
+	})
 }
 
 // step executes a fused predicate-free location step. Singleton sources

@@ -7,8 +7,20 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
+)
+
+// Batch instruments (process-wide).
+var (
+	mBatches     = metrics.Default().Counter("store.batch.batches")
+	mBatchDocs   = metrics.Default().Counter("store.batch.docs")
+	mBatchErrors = metrics.Default().Counter("store.batch.errors")
+	mQueueWaitNs = metrics.Default().Histogram("store.batch.queue_wait_ns")
+	mDocEvalNs   = metrics.Default().Histogram("store.batch.eval_ns")
+	mBatchNs     = metrics.Default().Histogram("store.batch.batch_ns")
 )
 
 // QueryOptions configures one batch evaluation.
@@ -24,6 +36,11 @@ type QueryOptions struct {
 	// given order; an unknown ID yields a DocResult with Err set. Nil means
 	// every stored document, in sorted ID order.
 	IDs []string
+	// Tracer, when non-nil, is handed to every per-document evaluation
+	// context and additionally receives one KindBatchDoc span per document.
+	// Unlike an axes.Scratch, one tracer serves all workers at once, so it
+	// must be safe for concurrent use (trace.Recorder is).
+	Tracer trace.Tracer
 }
 
 // DocResult is the outcome of the query on one document of the batch.
@@ -58,6 +75,7 @@ func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.S
 		workers = len(items)
 	}
 
+	t0 := trace.Now()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -69,18 +87,43 @@ func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.S
 				if i >= len(items) {
 					return
 				}
+				// Queue wait: how long the item sat behind earlier claims
+				// before a worker reached it.
+				tClaim := trace.Now()
+				mQueueWaitNs.Observe(tClaim - t0)
 				it := items[i]
 				if it.doc == nil {
 					results[i] = DocResult{ID: it.id,
 						Err: fmt.Errorf("store: no document with ID %q", it.id)}
+					mBatchErrors.Add(1)
 					continue
 				}
-				v, st, err := opts.Engine.Evaluate(q, it.doc, engine.RootContext(it.doc))
+				ctx := engine.RootContext(it.doc)
+				ctx.Tracer = opts.Tracer
+				v, st, err := opts.Engine.Evaluate(q, it.doc, ctx)
+				evalNs := trace.Now() - tClaim
+				mDocEvalNs.Observe(evalNs)
+				if err != nil {
+					mBatchErrors.Add(1)
+				}
+				if opts.Tracer != nil {
+					out := trace.CardUnknown
+					if v.T == values.KindNodeSet && v.Set != nil {
+						out = v.Set.Len()
+					}
+					opts.Tracer.Emit(trace.Event{
+						Kind: trace.KindBatchDoc, Name: it.id,
+						In: trace.CardUnknown, Out: out, Ns: evalNs,
+					})
+				}
 				results[i] = DocResult{ID: it.id, Value: v, Stats: st, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
+	mBatches.Add(1)
+	mBatchDocs.Add(int64(len(items)))
+	mBatchNs.Observe(trace.Now() - t0)
 
 	var agg engine.Stats
 	for i := range results {

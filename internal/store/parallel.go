@@ -5,9 +5,20 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
+)
+
+// Intra-query parallelism instruments: how often the last-step split is
+// taken versus the serial fallback, and the cost of the document-order
+// merge of the per-worker sets.
+var (
+	mParSplit  = metrics.Default().Counter("store.parallel.split")
+	mParSerial = metrics.Default().Counter("store.parallel.serial")
+	mMergeNs   = metrics.Default().Histogram("store.parallel.merge_ns")
 )
 
 // minParallelContexts gates the parallel path: below this many context
@@ -47,6 +58,7 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	}
 	head, tail, ok := splitCached(q)
 	if !ok || workers == 1 {
+		mParSerial.Add(1)
 		v, st, err := eng.Evaluate(q, doc, ctx)
 		return v, st, false, err
 	}
@@ -57,6 +69,7 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	}
 	contexts := hv.Set.Nodes()
 	if len(contexts) < minParallelContexts*workers {
+		mParSerial.Add(1)
 		// Not enough contexts to pay for the fan-out: finish the final step
 		// on this goroutine, reusing the head result already computed.
 		acc := xmltree.NewSet(doc)
@@ -74,6 +87,13 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	if workers > len(contexts) {
 		workers = len(contexts)
 	}
+	mParSplit.Add(1)
+	if ctx.Tracer != nil {
+		ctx.Tracer.Emit(trace.Event{
+			Kind: trace.KindSplit, Name: q.Source,
+			In: len(contexts), Out: workers, Ns: 0,
+		})
+	}
 
 	sets := make([]*xmltree.Set, workers)
 	stats := make([]engine.Stats, workers)
@@ -87,7 +107,10 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 			defer wg.Done()
 			acc := xmltree.NewSet(doc)
 			for _, x := range part {
-				v, st, err := eng.Evaluate(tail, doc, engine.Context{Node: x, Pos: 1, Size: 1})
+				// The shared-tracer contract of QueryOptions.Tracer applies
+				// here too: the tracer reaches every worker at once.
+				v, st, err := eng.Evaluate(tail, doc,
+					engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer})
 				stats[w].Add(st)
 				if err != nil {
 					errs[w] = err
@@ -100,6 +123,7 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	}
 	wg.Wait()
 
+	tMerge := trace.Now()
 	merged := xmltree.NewSet(doc)
 	agg := hst
 	for w := 0; w < workers; w++ {
@@ -108,6 +132,14 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 			return values.Value{}, agg, true, errs[w]
 		}
 		merged.UnionWith(sets[w])
+	}
+	mergeNs := trace.Now() - tMerge
+	mMergeNs.Observe(mergeNs)
+	if ctx.Tracer != nil {
+		ctx.Tracer.Emit(trace.Event{
+			Kind: trace.KindMerge, Name: q.Source,
+			In: workers, Out: merged.Len(), Ns: mergeNs,
+		})
 	}
 	return values.NodeSet(merged), agg, true, nil
 }

@@ -1,0 +1,235 @@
+// Package trace is the per-evaluation observability layer: an optional
+// Tracer that the plan VM, the set-at-a-time engines and the batch/parallel
+// fan-out report spans into — per-opcode and per-location-step events with
+// input/output node-set cardinalities, scratch high-water marks and
+// monotonic nanosecond timings.
+//
+// The tracer is strictly opt-in: every instrumented site guards its
+// reporting with a nil check, so a nil Tracer costs one predicted branch and
+// zero allocations on the warm evaluation path (pinned by the AllocsPerRun
+// guards in internal/plan and internal/axes). When a Tracer is present the
+// engines pay two monotonic clock reads and one Emit per span.
+//
+// Ownership rules mirror the axes.Scratch rules: a Recorder may be reused
+// across any number of evaluations (Reset between them to start fresh), and
+// — unlike a Scratch — it MAY be shared between goroutines: Emit is
+// internally synchronized, so one Recorder can observe a whole store batch
+// across all its workers.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+// The span kinds, in the order the renderer groups them.
+const (
+	// KindParse is one XML parse (document build).
+	KindParse Kind = iota
+	// KindCompile is one query compilation (lex/parse/analyze/plan).
+	KindCompile
+	// KindEval is one whole evaluation (the root span of a trace tree).
+	KindEval
+	// KindStep is one set-at-a-time location step of an interpreting engine
+	// (corexpath forward steps, core outermost-path steps).
+	KindStep
+	// KindSat is one satisfaction-set / bottom-up propagation pass
+	// (corexpath pathSat, core evalBottomupPath).
+	KindSat
+	// KindOpcode is one plan-VM instruction execution.
+	KindOpcode
+	// KindBatchDoc is one document of a store batch.
+	KindBatchDoc
+	// KindSplit is one EvaluateParallel split decision (Name says which).
+	KindSplit
+	// KindMerge is the document-order merge of EvaluateParallel.
+	KindMerge
+)
+
+var kindNames = [...]string{
+	KindParse: "parse", KindCompile: "compile", KindEval: "eval",
+	KindStep: "step", KindSat: "sat", KindOpcode: "opcode",
+	KindBatchDoc: "batch-doc", KindSplit: "split", KindMerge: "merge",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one reported span. In and Out are node-set cardinalities
+// (CardUnknown when the span has no set input/output); HighWater is the
+// axis-kernel scratch arena's high-water mark in bytes at the time of the
+// span; Block/PC locate VM opcodes inside their program (both 0 outside the
+// VM).
+type Event struct {
+	Kind      Kind
+	Name      string
+	Block, PC int
+	In, Out   int
+	Ns        int64
+	HighWater int64
+}
+
+// CardUnknown marks an In/Out cardinality that does not apply to the span.
+const CardUnknown = -1
+
+// Tracer receives spans. Implementations must be safe for concurrent use
+// when shared across goroutines (the store batch fan-out hands one tracer
+// to every worker). Emit must not retain the event beyond the call.
+type Tracer interface {
+	Emit(Event)
+}
+
+// base anchors the package's monotonic clock; time.Since reads the
+// monotonic reading of base, so Now never goes backwards.
+var base = time.Now()
+
+// Now returns monotonic nanoseconds since an arbitrary process-local epoch.
+func Now() int64 { return int64(time.Since(base)) }
+
+// Row is the aggregation of every event sharing (Kind, Name, Block, PC):
+// call count, summed cardinalities and nanoseconds, and the maximum
+// scratch high-water mark.
+type Row struct {
+	Kind      Kind
+	Name      string
+	Block, PC int
+	Calls     int64
+	In, Out   int64 // summed cardinalities (CardUnknown inputs excluded)
+	Ns        int64
+	HighWater int64 // max over the aggregated events
+}
+
+// rowKey identifies one aggregation row.
+type rowKey struct {
+	kind      Kind
+	name      string
+	block, pc int
+}
+
+// Recorder is the standard Tracer: it aggregates events by
+// (Kind, Name, Block, PC) under a mutex, so predicate blocks that execute
+// thousands of opcode spans stay O(program size) in memory, and one
+// Recorder can be shared across batch workers. The zero value is ready to
+// use.
+type Recorder struct {
+	mu    sync.Mutex
+	index map[rowKey]int
+	rows  []Row
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	k := rowKey{e.Kind, e.Name, e.Block, e.PC}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		r.index = make(map[rowKey]int)
+	}
+	i, ok := r.index[k]
+	if !ok {
+		i = len(r.rows)
+		r.index[k] = i
+		r.rows = append(r.rows, Row{Kind: e.Kind, Name: e.Name, Block: e.Block, PC: e.PC})
+	}
+	row := &r.rows[i]
+	row.Calls++
+	if e.In != CardUnknown {
+		row.In += int64(e.In)
+	}
+	if e.Out != CardUnknown {
+		row.Out += int64(e.Out)
+	}
+	row.Ns += e.Ns
+	if e.HighWater > row.HighWater {
+		row.HighWater = e.HighWater
+	}
+}
+
+// Rows returns a copy of the aggregated rows in first-emission order.
+func (r *Recorder) Rows() []Row {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Row, len(r.rows))
+	copy(out, r.rows)
+	return out
+}
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.index = nil
+	r.rows = nil
+}
+
+// TotalNs sums the nanoseconds of every row of the given kind.
+func (r *Recorder) TotalNs(k Kind) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ns int64
+	for i := range r.rows {
+		if r.rows[i].Kind == k {
+			ns += r.rows[i].Ns
+		}
+	}
+	return ns
+}
+
+// Render returns the human-readable trace tree the CLI's -analyze flag
+// prints: root spans (parse, compile, eval, batch documents) at the top
+// level, per-step / per-sat / per-opcode spans indented beneath. Rows are
+// ordered by kind, then block/pc, then first-emission order, so the output
+// is deterministic for a deterministic evaluation.
+func Render(rows []Row) string {
+	var b strings.Builder
+	ordered := make([]Row, len(rows))
+	copy(ordered, rows)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Kind != ordered[j].Kind {
+			return ordered[i].Kind < ordered[j].Kind
+		}
+		if ordered[i].Block != ordered[j].Block {
+			return ordered[i].Block < ordered[j].Block
+		}
+		return ordered[i].PC < ordered[j].PC
+	})
+	b.WriteString("trace:\n")
+	for _, row := range ordered {
+		indent := "  "
+		switch row.Kind {
+		case KindStep, KindSat, KindOpcode, KindMerge, KindSplit:
+			indent = "  |- "
+		}
+		fmt.Fprintf(&b, "%s%s\n", indent, row.describe())
+	}
+	return b.String()
+}
+
+// describe renders one row.
+func (row Row) describe() string {
+	var b strings.Builder
+	name := row.Name
+	if row.Kind == KindOpcode {
+		name = fmt.Sprintf("b%d/%02d %s", row.Block, row.PC, row.Name)
+	}
+	fmt.Fprintf(&b, "%-9s %-36s calls=%-6d ns=%-10d", row.Kind, name, row.Calls, row.Ns)
+	fmt.Fprintf(&b, " in=%-7d out=%-7d", row.In, row.Out)
+	if row.HighWater > 0 {
+		fmt.Fprintf(&b, " scratch=%dB", row.HighWater)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderAggregates(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindOpcode, Name: "step", Block: 0, PC: 2, In: 5, Out: 3, Ns: 100})
+	r.Emit(Event{Kind: KindOpcode, Name: "step", Block: 0, PC: 2, In: 7, Out: 4, Ns: 50, HighWater: 64})
+	r.Emit(Event{Kind: KindOpcode, Name: "step", Block: 1, PC: 9, In: CardUnknown, Out: 1, Ns: 25})
+	r.Emit(Event{Kind: KindEval, Name: "compiled", In: CardUnknown, Out: 3, Ns: 400})
+
+	rows := r.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (same (kind,name,block,pc) must aggregate)", len(rows))
+	}
+	first := rows[0]
+	if first.Calls != 2 || first.In != 12 || first.Out != 7 || first.Ns != 150 {
+		t.Errorf("aggregated row = %+v, want calls=2 in=12 out=7 ns=150", first)
+	}
+	if first.HighWater != 64 {
+		t.Errorf("HighWater = %d, want max 64", first.HighWater)
+	}
+	if rows[1].In != 0 {
+		t.Errorf("CardUnknown input must not be summed, got %d", rows[1].In)
+	}
+	if got := r.TotalNs(KindOpcode); got != 175 {
+		t.Errorf("TotalNs(KindOpcode) = %d, want 175", got)
+	}
+
+	r.Reset()
+	if len(r.Rows()) != 0 {
+		t.Error("Reset did not clear the recorder")
+	}
+}
+
+// TestRecorderConcurrent pins the shared-tracer contract: one Recorder may
+// be used from many goroutines at once (the store batch hands one tracer to
+// every worker). Run under -race in CI.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Emit(Event{Kind: KindStep, Name: "child::b", In: 1, Out: 1, Ns: 1})
+				if i%100 == 0 {
+					_ = r.Rows()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rows := r.Rows()
+	if len(rows) != 1 || rows[0].Calls != goroutines*perG {
+		t.Fatalf("rows = %+v, want one row with %d calls", rows, goroutines*perG)
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	a := Now()
+	b := Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %d then %d", a, b)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindEval, Name: "compiled", In: CardUnknown, Out: 3, Ns: 400})
+	r.Emit(Event{Kind: KindOpcode, Name: "step", Block: 0, PC: 2, In: 5, Out: 3, Ns: 100, HighWater: 128})
+	r.Emit(Event{Kind: KindStep, Name: "child::c", In: 4, Out: 2, Ns: 80})
+	out := Render(r.Rows())
+	for _, want := range []string{"trace:", "eval", "b0/02 step", "child::c", "calls=", "scratch=128B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// eval (a root span) must precede the opcode rows.
+	if strings.Index(out, "eval") > strings.Index(out, "opcode") {
+		t.Errorf("root span should render before opcode spans:\n%s", out)
+	}
+}

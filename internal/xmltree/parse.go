@@ -5,7 +5,34 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// Ingest instruments. Parse times include the topology build (Done calls
+// finish); programmatic Builder use reports only the build histogram and the
+// topology footprint.
+var (
+	mParseDocs  = metrics.Default().Counter("xmltree.parse.docs")
+	mParseNodes = metrics.Default().Counter("xmltree.parse.nodes")
+	mParseBytes = metrics.Default().Counter("xmltree.parse.bytes")
+	mParseNs    = metrics.Default().Histogram("xmltree.parse_ns")
+	mBuildNs    = metrics.Default().Histogram("xmltree.build_ns")
+	mTopoBytes  = metrics.Default().Counter("xmltree.topology_bytes")
+)
+
+// countingReader counts the raw bytes the decoder consumes.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
 
 // Parse reads an XML document from r and returns its tree representation.
 // Comments and processing instructions are skipped (the paper's data model
@@ -13,7 +40,9 @@ import (
 // Namespace prefixes are retained verbatim in labels — the paper excludes
 // namespace processing.
 func Parse(r io.Reader) (*Document, error) {
-	dec := xml.NewDecoder(r)
+	t0 := trace.Now()
+	cr := &countingReader{r: r}
+	dec := xml.NewDecoder(cr)
 	// The evaluation algorithms never dereference external entities; the
 	// default strict decoder settings are what we want, but we accept
 	// repeated attributes etc. as encoding/xml does.
@@ -48,7 +77,15 @@ func Parse(r io.Reader) (*Document, error) {
 			// Not part of the data model (§2.1).
 		}
 	}
-	return b.Done()
+	d, err := b.Done()
+	if err != nil {
+		return nil, err
+	}
+	mParseDocs.Add(1)
+	mParseNodes.Add(int64(d.NumNodes()))
+	mParseBytes.Add(cr.n)
+	mParseNs.Observe(trace.Now() - t0)
+	return d, nil
 }
 
 func attrName(n xml.Name) string {
@@ -178,7 +215,10 @@ func (b *Builder) Done() (*Document, error) {
 		return nil, fmt.Errorf("xmltree: document has %d top-level elements, want 1", len(b.root.kids))
 	}
 	d := &Document{root: b.root}
+	t0 := trace.Now()
 	d.finish()
+	mBuildNs.Observe(trace.Now() - t0)
+	mTopoBytes.Add(d.topo.Bytes())
 	return d, nil
 }
 

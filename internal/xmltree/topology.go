@@ -44,6 +44,14 @@ func (t *Topology) Kids(p int32) []int32 {
 	return t.KidList[t.KidOff[p]:t.KidOff[p+1]]
 }
 
+// Bytes returns the memory footprint of the topology's column arrays in
+// bytes (the structure-of-arrays encoding is the document's dominant
+// axis-kernel working set, so the observability layer reports it).
+func (t *Topology) Bytes() int64 {
+	return 4 * int64(len(t.Parent)+len(t.Start)+len(t.End)+len(t.Level)+
+		len(t.SibIdx)+len(t.SubEnd)+len(t.LabelID)+len(t.KidOff)+len(t.KidList))
+}
+
 // buildTopology fills d.topo and the label table from the finished node
 // slice. Called exactly once, by finish, after pre/start/end/level/sibIdx
 // have been assigned.

@@ -1,0 +1,77 @@
+package xpath
+
+import (
+	"expvar"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file is the public face of the observability layer: re-exported
+// tracing types (internal/trace) and access to the process-wide metrics
+// registry (internal/metrics). Everything here is optional — an application
+// that never touches it pays nothing beyond one nil check per instrumented
+// site and a handful of atomic counter updates per evaluation.
+
+// Tracer receives spans from an evaluation. Implementations must be cheap
+// (Emit runs on the hot path of traced evaluations) and — when one tracer is
+// handed to a batch or parallel evaluation — safe for concurrent use.
+type Tracer = trace.Tracer
+
+// TraceEvent is one span delivered to a Tracer: its kind (eval, step,
+// opcode, …), input/output cardinalities (CardUnknown for scalars), wall
+// time in nanoseconds, and the axis-scratch high-water mark in bytes.
+type TraceEvent = trace.Event
+
+// TraceRow is one aggregated line of a TraceRecorder: events with the same
+// (kind, name, block, pc) are summed into call counts, total cardinalities
+// and total nanoseconds.
+type TraceRow = trace.Row
+
+// TraceRecorder is the standard Tracer: it aggregates events in bounded
+// memory and is safe for concurrent use, so one recorder can serve all
+// workers of a batch. Reset makes it reusable across evaluations.
+type TraceRecorder = trace.Recorder
+
+// CardUnknown marks a cardinality that does not apply (scalar operands).
+const CardUnknown = trace.CardUnknown
+
+// NewTraceRecorder returns an empty, ready-to-use recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// RenderTrace renders recorder rows as an indented human-readable tree
+// (root spans first, per-step and per-opcode spans indented below).
+func RenderTrace(rows []TraceRow) string { return trace.Render(rows) }
+
+// MetricsRegistry is the process-wide metrics registry type; see Metrics.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of every instrument; two
+// snapshots subtract (Sub) to isolate an interval.
+type MetricsSnapshot = metrics.Snapshot
+
+// Metrics returns the process-wide registry every engine component reports
+// into: evaluation counts and latencies, plan-cache hits/misses/evictions,
+// compile times, parse/build throughput, topology footprint, batch queue
+// waits and per-document latencies, parallel split/merge behavior.
+func Metrics() *MetricsRegistry { return metrics.Default() }
+
+// MetricsSnapshotNow captures the registry's current state.
+func MetricsSnapshotNow() MetricsSnapshot { return metrics.Default().Snapshot() }
+
+// WriteMetricsJSON writes the registry as one flat JSON object
+// (expvar-compatible values: counters and gauges as numbers, histograms as
+// {count, sum, mean, p50, p90, p99}).
+func WriteMetricsJSON(w io.Writer) error { return metrics.Default().WriteJSON(w) }
+
+// WriteMetricsText writes a sorted human-readable dump of the registry.
+func WriteMetricsText(w io.Writer) error { return metrics.Default().WriteText(w) }
+
+// WriteMetricsPrometheus writes the registry in the Prometheus text
+// exposition format (histograms as cumulative le-buckets).
+func WriteMetricsPrometheus(w io.Writer) error { return metrics.Default().WritePrometheus(w) }
+
+// MetricsExpvar returns the registry as an expvar.Func, for mounting on an
+// expvar page: expvar.Publish("xpath", xpath.MetricsExpvar()).
+func MetricsExpvar() expvar.Func { return metrics.Default().Expvar() }

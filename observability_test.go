@@ -1,0 +1,261 @@
+package xpath
+
+// Tests for the observability layer: EXPLAIN ANALYZE coherence, batch stats
+// aggregation (including the error-document path), the shared-tracer
+// contract across batch workers, and the metrics registry surface.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const obsFixture = `<a><b><d/><c/></b><b><c/></b></a>`
+
+// TestExplainAnalyze is the acceptance check of the observability layer: on
+// a Core XPath workload query, the annotated listing must show per-step
+// observed cardinalities, and the per-opcode times of the main block must
+// sum to (within tolerance) the total evaluation time.
+func TestExplainAnalyze(t *testing.T) {
+	doc := WrapTree(workload.Scaled(200))
+	q := MustCompile(`/descendant::b[child::d]/child::c`)
+	out, err := q.ExplainAnalyze(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"calls=", "ns=", "in=", "out=", "total:", "b0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze output missing %q:\n%s", want, out)
+		}
+	}
+	// The final step selects the c-children of b-elements with a d-child;
+	// its annotated line must carry a real observed cardinality.
+	if !strings.Contains(out, "child::c") {
+		t.Errorf("no step line for child::c:\n%s", out)
+	}
+
+	// Timing coherence: run traced and compare the main block's summed
+	// opcode time against the whole-evaluation span. Nested predicate-block
+	// time is included in the invoking main-block opcode, so block-0 opcodes
+	// must cover most of — and never exceed — the total. The times are
+	// aggregated over many evaluations of a larger document so per-opcode
+	// work dominates the fixed per-evaluation overhead (machine pool,
+	// register reset, result detach) that the opcode spans rightly exclude.
+	big := WrapTree(workload.Scaled(2000))
+	rec := NewTraceRecorder()
+	for i := 0; i < 20; i++ {
+		if _, err := q.EvaluateWith(big, Options{Engine: EngineCompiled, Tracer: rec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := rec.TotalNs(trace.KindEval)
+	var opcodes int64
+	for _, r := range rec.Rows() {
+		if r.Kind == trace.KindOpcode && r.Block == 0 {
+			opcodes += r.Ns
+		}
+	}
+	if total <= 0 {
+		t.Fatalf("KindEval total = %d, want > 0", total)
+	}
+	if opcodes > total {
+		t.Errorf("main-block opcode time %dns exceeds total evaluation time %dns", opcodes, total)
+	}
+	if opcodes < total/4 {
+		t.Errorf("main-block opcode time %dns is under a quarter of the total %dns — spans are dropping work", opcodes, total)
+	}
+}
+
+// TestExplainAnalyzeCompileError: queries the plan compiler rejects surface
+// the error instead of a partial listing.
+func TestExplainAnalyzeError(t *testing.T) {
+	doc, err := ParseDocumentString(obsFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile(`/descendant::b`)
+	if _, err := q.ExplainAnalyze(doc); err != nil {
+		t.Fatalf("ExplainAnalyze on a valid query: %v", err)
+	}
+}
+
+// TestBatchStatsAggregation pins BatchResult.Stats as exactly the sum of the
+// per-document serial evaluations — including a batch with an unknown ID,
+// whose error document must contribute nothing.
+func TestBatchStatsAggregation(t *testing.T) {
+	st := NewStore()
+	ids := []string{"d1", "d2", "d3"}
+	for i, id := range ids {
+		doc, err := ParseDocumentString(fmt.Sprintf(
+			`<a><b><d/><c/></b><b><c/></b><e>%d</e></a>`, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(id, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const src = `/descendant::b[child::d]/child::c`
+	for _, withErrDoc := range []bool{false, true} {
+		sel := append([]string(nil), ids...)
+		if withErrDoc {
+			sel = append(sel, "no-such-doc")
+		}
+		batch, err := st.Query(src, BatchOptions{IDs: sel, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantErrs := 0
+		if withErrDoc {
+			wantErrs = 1
+		}
+		if batch.Errs() != wantErrs {
+			t.Fatalf("Errs() = %d, want %d", batch.Errs(), wantErrs)
+		}
+		var want Stats
+		q := MustCompile(src)
+		for _, id := range ids {
+			doc, ok := st.Get(id)
+			if !ok {
+				t.Fatal("document vanished")
+			}
+			res, err := q.Evaluate(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats()
+			want.TableCells += s.TableCells
+			want.ContextsEvaluated += s.ContextsEvaluated
+			want.AxisCalls += s.AxisCalls
+		}
+		if got := batch.Stats(); got != want {
+			t.Errorf("withErrDoc=%v: batch stats %+v != summed serial stats %+v",
+				withErrDoc, got, want)
+		}
+	}
+}
+
+// TestBatchSharedTracer pins the shared-tracer contract: one recorder handed
+// to a many-worker batch receives every document's spans without loss. Run
+// under -race in CI.
+func TestBatchSharedTracer(t *testing.T) {
+	st := NewStore()
+	const docs = 24
+	var ids []string
+	for i := 0; i < docs; i++ {
+		id := fmt.Sprintf("doc-%02d", i)
+		doc, err := ParseDocumentString(obsFixture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(id, doc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	rec := NewTraceRecorder()
+	batch, err := st.Query(`/descendant::b[child::d]/child::c`, BatchOptions{
+		Engine:  EngineCompiled,
+		Workers: 8,
+		Tracer:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Errs() != 0 {
+		t.Fatalf("%d unexpected errors", batch.Errs())
+	}
+	var batchDocRows, batchDocCalls int64
+	for _, r := range rec.Rows() {
+		if r.Kind == trace.KindBatchDoc {
+			batchDocRows++
+			batchDocCalls += r.Calls
+		}
+	}
+	if batchDocRows != docs || batchDocCalls != docs {
+		t.Errorf("recorder saw %d batch-doc rows / %d calls, want %d each",
+			batchDocRows, batchDocCalls, docs)
+	}
+}
+
+// TestRecorderSharedAcrossEvaluations: a recorder may also be driven from
+// plain concurrent single-document evaluations.
+func TestRecorderSharedAcrossEvaluations(t *testing.T) {
+	doc, err := ParseDocumentString(obsFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustCompile(`/descendant::b/child::c`)
+	rec := NewTraceRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := q.EvaluateWith(doc, Options{Engine: EngineCompiled, Tracer: rec}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var evalCalls int64
+	for _, r := range rec.Rows() {
+		if r.Kind == trace.KindEval {
+			evalCalls += r.Calls
+		}
+	}
+	if evalCalls != 8*50 {
+		t.Errorf("recorder aggregated %d eval spans, want %d", evalCalls, 8*50)
+	}
+}
+
+// TestMetricsSurface exercises the public registry accessors end to end:
+// evaluations move the counters, snapshots subtract, and every export
+// format renders.
+func TestMetricsSurface(t *testing.T) {
+	doc, err := ParseDocumentString(obsFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := MetricsSnapshotNow()
+	q := MustCompile(`count(/descendant::b)`)
+	const runs = 7
+	for i := 0; i < runs; i++ {
+		if _, err := q.Evaluate(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := MetricsSnapshotNow().Sub(before)
+	if got := delta.Counters["xpath.evals"]; got != runs {
+		t.Errorf("xpath.evals delta = %d, want %d", got, runs)
+	}
+	if h := delta.Histograms["xpath.eval_ns"]; h.Count != runs || h.Sum <= 0 {
+		t.Errorf("xpath.eval_ns delta = count %d sum %d, want count %d and positive sum", h.Count, h.Sum, runs)
+	}
+	var json, text, prom strings.Builder
+	if err := WriteMetricsJSON(&json); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsPrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct{ name, out, want string }{
+		{"JSON", json.String(), `"xpath.evals"`},
+		{"text", text.String(), "xpath.evals"},
+		{"prometheus", prom.String(), "xpath_evals"},
+	} {
+		if !strings.Contains(probe.out, probe.want) {
+			t.Errorf("%s export missing %q", probe.name, probe.want)
+		}
+	}
+}

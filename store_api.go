@@ -76,6 +76,11 @@ type BatchOptions struct {
 	// (unknown IDs produce per-document errors); nil means every stored
 	// document in sorted ID order.
 	IDs []string
+	// Tracer, when non-nil, receives the spans of every per-document
+	// evaluation plus one KindBatchDoc span per document. One tracer serves
+	// all workers at once, so it must be safe for concurrent use
+	// (TraceRecorder is); nil costs nothing.
+	Tracer Tracer
 }
 
 // DocResult is the outcome of a batch query on one document.
@@ -94,7 +99,7 @@ type DocResult struct {
 type BatchResult struct {
 	// Docs holds one entry per selected document, in sorted ID order (or
 	// the order of BatchOptions.IDs).
-	Docs []DocResult
+	Docs  []DocResult
 	stats Stats
 	errs  int
 }
@@ -117,6 +122,7 @@ func (st *Store) Query(src string, opts BatchOptions) (*BatchResult, error) {
 		Engine:  opts.Engine.impl(),
 		Workers: opts.Workers,
 		IDs:     opts.IDs,
+		Tracer:  opts.Tracer,
 	})
 	out := &BatchResult{Docs: make([]DocResult, len(raw))}
 	for i, r := range raw {
@@ -141,6 +147,11 @@ type ParallelOptions struct {
 	Workers int
 	// ContextNode evaluates relative to this node (default: document root).
 	ContextNode *Node
+	// Tracer, when non-nil, receives the head evaluation's spans, one
+	// KindSplit/KindMerge span when the parallel path is taken, and the
+	// per-partition spans from every worker. The shared-tracer contract of
+	// BatchOptions.Tracer applies.
+	Tracer Tracer
 }
 
 // EvaluateParallel evaluates the query against one document by
@@ -163,6 +174,7 @@ func (q *Query) EvaluateParallel(doc *Document, opts ParallelOptions) (*Result, 
 		}
 		ctx.Node = opts.ContextNode.n
 	}
+	ctx.Tracer = opts.Tracer
 	v, st, _, err := store.EvaluateParallel(opts.Engine.impl(), q.q, doc.tree, ctx, opts.Workers)
 	if err != nil {
 		return nil, err

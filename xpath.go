@@ -35,10 +35,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/corexpath"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/naive"
 	"repro/internal/plan"
 	"repro/internal/syntax"
 	"repro/internal/topdown"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/xmltree"
 )
@@ -358,6 +360,13 @@ type Options struct {
 	ContextNode *Node
 	// Position and Size set the context position/size (default 1, 1).
 	Position, Size int
+	// Tracer, when non-nil, receives per-step (interpreters) or per-opcode
+	// (EngineCompiled) spans plus one KindEval root span for the whole
+	// evaluation. Leaving it nil is the strictly zero-cost default — the
+	// instrumented hot paths pay one nil check and nothing else. A
+	// TraceRecorder may be reused across evaluations (Reset clears it) and,
+	// unlike evaluation scratch, may be shared between goroutines.
+	Tracer Tracer
 }
 
 // Stats reports the instrumentation counters of one evaluation; see
@@ -390,6 +399,16 @@ func rootContextFor(doc *Document) engine.Context {
 	return engine.Context{Node: doc.tree.Root(), Pos: 1, Size: 1}
 }
 
+// Evaluation instruments: every EvaluateWith increments the counter and
+// feeds the wall-clock histogram; node-set results feed the cardinality
+// histogram. All three are plain atomic updates — no allocation, no lock.
+var (
+	mEvals      = metrics.Default().Counter("xpath.evals")
+	mEvalErrors = metrics.Default().Counter("xpath.eval_errors")
+	mEvalNs     = metrics.Default().Histogram("xpath.eval_ns")
+	mResultCard = metrics.Default().Histogram("xpath.result_card")
+)
+
 // EvaluateWith runs the query with explicit options.
 func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 	ctx := rootContextFor(doc)
@@ -408,11 +427,38 @@ func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 	if ctx.Pos > ctx.Size {
 		return nil, fmt.Errorf("xpath: context position %d exceeds context size %d", ctx.Pos, ctx.Size)
 	}
+	ctx.Tracer = opts.Tracer
+	t0 := trace.Now()
 	v, st, err := opts.Engine.impl().Evaluate(q.q, doc.tree, ctx)
+	evalNs := trace.Now() - t0
+	mEvals.Add(1)
+	mEvalNs.Observe(evalNs)
 	if err != nil {
+		mEvalErrors.Add(1)
 		return nil, err
 	}
+	out := trace.CardUnknown
+	if v.T == values.KindNodeSet && v.Set != nil {
+		out = v.Set.Len()
+		mResultCard.Observe(int64(out))
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.Emit(TraceEvent{
+			Kind: trace.KindEval, Name: opts.Engine.String(),
+			In: trace.CardUnknown, Out: out, Ns: evalNs,
+		})
+	}
 	return &Result{v: v, stats: toStats(st)}, nil
+}
+
+// EvaluateTraced runs the query with default options plus a tracer: sugar
+// for EvaluateWith(doc, Options{Tracer: tr}). A typical session:
+//
+//	rec := xpath.NewTraceRecorder()
+//	res, err := q.EvaluateTraced(doc, rec)
+//	fmt.Print(xpath.RenderTrace(rec.Rows()))
+func (q *Query) EvaluateTraced(doc *Document, tr Tracer) (*Result, error) {
+	return q.EvaluateWith(doc, Options{Tracer: tr})
 }
 
 // toStats converts the engines' instrumentation counters to the public
