@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E17) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E18) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -10,7 +10,9 @@
 // agreement, E14 compiled plans vs. interpretation, E15 parallel batch and
 // single-document evaluation scaling, E16 flat-topology axis kernels
 // before/after (with -e16-json emission), E17 observability-layer tracing
-// off/on (with -e17-json emission, metrics registry snapshot embedded).
+// off/on (with -e17-json emission, metrics registry snapshot embedded),
+// E18 query-service synthetic load against the HTTP front-end (with
+// -e18-json emission: status splits, cache-hit rate, queue histograms).
 //
 // -metrics-json additionally writes the process metrics registry —
 // populated by whatever experiments ran — to a standalone JSON file.
@@ -29,13 +31,14 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e16) or 'all'")
+		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e18) or 'all'")
 		sizes   = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
 		small   = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
 		reps    = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
 		maxDbl  = flag.Int("max-doubling", 20, "last i of the E5 doubling-query family")
 		e16json = flag.String("e16-json", "BENCH_E16.json", "output path for the E16 before/after rows (empty disables)")
 		e17json = flag.String("e17-json", "BENCH_E17.json", "output path for the E17 tracing off/on rows (empty disables)")
+		e18json = flag.String("e18-json", "BENCH_E18.json", "output path for the E18 query-service load rows (empty disables)")
 		mjson   = flag.String("metrics-json", "", "write the process metrics registry as JSON to this file after the run")
 	)
 	flag.Parse()
@@ -53,7 +56,7 @@ func main() {
 
 	w := os.Stdout
 	if *exps == "all" {
-		bench.RunAll(w, cfg, *e16json, *e17json)
+		bench.RunAll(w, cfg, *e16json, *e17json, *e18json)
 		writeMetrics(w, *mjson)
 		return
 	}
@@ -109,8 +112,18 @@ func main() {
 				}
 				fmt.Fprintf(w, "wrote %s\n", *e17json)
 			}
+		case "e18":
+			t, rows := bench.E18(cfg)
+			t.Print(w)
+			if *e18json != "" {
+				if err := bench.WriteE18JSON(*e18json, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "xpathbench: write E18 JSON:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *e18json)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e17)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e18)\n", name)
 			os.Exit(2)
 		}
 	}

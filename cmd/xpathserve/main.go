@@ -1,0 +1,100 @@
+// Command xpathserve serves XPath evaluation over HTTP: the query-service
+// front-end on top of the document store, with bounded admission in front
+// of the Gottlob/Koch/Pichler engines.
+//
+//	xpathserve -store corpus/ -addr :8080 -workers 4 -queue 64
+//
+// The corpus is a directory of *.xml files (keyed by file name) or a
+// binary snapshot written by `xpath -savestore`. SIGTERM/SIGINT drains
+// gracefully: admission stops (new requests answer 503), in-flight
+// evaluations finish, then the listener closes.
+//
+// Endpoints: POST /query, POST /batch, GET /explain, GET /stats,
+// GET /healthz — see the server package documentation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	xpath "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		storePath = flag.String("store", "", "corpus: directory of *.xml files or a snapshot file (required)")
+		workers   = flag.Int("workers", 1, "admission worker pool size")
+		queue     = flag.Int("queue", 0, "admission queue depth (0: 2×workers); a full queue answers 429")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (queue wait + evaluation)")
+		engName   = flag.String("engine", "auto", "default evaluation engine for requests that name none")
+		drainWait = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*addr, *storePath, *workers, *queue, *timeout, *engName, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "xpathserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storePath string, workers, queue int, timeout time.Duration, engName string, drainWait time.Duration) error {
+	if storePath == "" {
+		return errors.New("missing -store (directory of *.xml files or a snapshot file)")
+	}
+	eng, ok := xpath.EngineByName(engName)
+	if !ok {
+		return fmt.Errorf("unknown engine %q", engName)
+	}
+	st, err := server.LoadCorpus(storePath)
+	if err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		Store:         st,
+		Workers:       workers,
+		QueueDepth:    queue,
+		Timeout:       timeout,
+		DefaultEngine: eng,
+	})
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d documents on %s (workers=%d queue=%d engine=%s)",
+			st.Len(), addr, workers, queue, eng)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: stop admission first so the load balancer's
+	// health checks fail and in-flight work finishes, then close the
+	// listener beneath the drained connections.
+	log.Printf("shutting down: draining admission queue")
+	dctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	xpath "repro"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// E18 is the query-service load experiment: a synthetic client drives the
+// HTTP front-end (internal/server) in-process through httptest — no
+// sockets, no network jitter — across three phases:
+//
+//   - warm-cache: a small set of distinct queries repeated many times,
+//     serially. This is the production steady state the source-keyed plan
+//     cache (xpath.CompileCached) is built for; the phase reports its
+//     measured hit rate (≥ 99% by construction: at most one miss per
+//     distinct query) and the per-request allocation count.
+//   - cold-cache: every request carries a previously unseen query text, so
+//     every request pays a parse+compile. The contrast with warm-cache
+//     prices the cache.
+//   - overload: concurrent clients against one worker and a shallow queue.
+//     Admission sheds the excess as 429s in O(1); the phase records the
+//     accept/reject split and the queue-depth and queue-wait histograms.
+//
+// Runs in a single-core container report deterministic operation counts,
+// status splits and cache-hit rates; nanosecond figures and the exact
+// overload accept/reject split vary with the machine, so E18 makes no
+// wall-clock speedup claims.
+
+// E18Row is one phase of the E18 load experiment.
+type E18Row struct {
+	Phase string `json:"phase"`
+	// Ops is the number of HTTP requests issued.
+	Ops int `json:"ops"`
+	// Distinct is the number of distinct query texts in the phase.
+	Distinct int `json:"distinct_queries"`
+	// Concurrency is the number of synthetic clients (1 = serial).
+	Concurrency int `json:"concurrency"`
+	// Workers/QueueDepth are the server's admission configuration.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Status counts responses by HTTP status code.
+	Status map[string]int `json:"status"`
+	// CacheHits counts responses that reported cache_hit=true;
+	// CacheHitRate is CacheHits/Ops.
+	CacheHits    int     `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// AllocsPerOp is allocations per request on the serial hot path
+	// (0 for concurrent phases, where AllocsPerRun is meaningless).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// RequestNs/QueueWaitNs/QueueDepthSampled are the interval histograms
+	// of the phase: whole-request latency, time spent queued, and the
+	// queue depth sampled at each admission.
+	RequestNs         metrics.HistogramSnapshot `json:"request_ns"`
+	QueueWaitNs       metrics.HistogramSnapshot `json:"queue_wait_ns"`
+	QueueDepthSampled metrics.HistogramSnapshot `json:"queue_depth_sampled"`
+}
+
+// e18Store builds the served corpus: the Figure 2 document plus two scaled
+// documents, the same shapes the engine experiments use.
+func e18Store() *xpath.Store {
+	st := xpath.NewStore()
+	for id, doc := range map[string]*xpath.Document{
+		"fig2": xpath.WrapTree(workload.Figure2()),
+		"s60":  xpath.WrapTree(workload.Scaled(60)),
+		"s200": xpath.WrapTree(workload.Scaled(200)),
+	} {
+		if err := st.Add(id, doc); err != nil {
+			panic(fmt.Sprintf("bench: e18 store: %v", err))
+		}
+	}
+	return st
+}
+
+// e18WarmQueries is the repeated-query working set of the warm-cache phase.
+func e18WarmQueries() []string {
+	qs := append([]string{}, workload.CoreQueries()...)
+	qs = append(qs, workload.WadlerQueries()...)
+	return qs
+}
+
+// e18ColdSeq feeds the cold-cache phase's numeric literals. The compile
+// cache is process-wide, so a process-unique sequence keeps every
+// cold-phase query text genuinely unseen even when E18 runs twice in one
+// process (RunAll followed by the smoke test).
+var e18ColdSeq atomic.Int64
+
+// e18Request issues one POST /query and returns the status code and
+// whether the response reported a compile-cache hit.
+func e18Request(h http.Handler, id, src string) (status int, cacheHit bool) {
+	body, _ := json.Marshal(map[string]any{"id": id, "query": src})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var resp struct {
+		CacheHit bool `json:"cache_hit"`
+	}
+	json.Unmarshal(w.Body.Bytes(), &resp)
+	return w.Code, resp.CacheHit
+}
+
+// e18Delta reduces a metrics interval to the three histograms a row keeps.
+func e18Delta(before metrics.Snapshot) (req, wait, depth metrics.HistogramSnapshot) {
+	d := metrics.Default().Snapshot().Sub(before)
+	return d.Histograms["server.request_ns"],
+		d.Histograms["server.queue_wait_ns"],
+		d.Histograms["server.queue_depth_sampled"]
+}
+
+// E18 runs the three load phases and returns the printable table plus the
+// raw rows for JSON emission.
+func E18(cfg Config) (*Table, []E18Row) {
+	cfg = cfg.Defaults()
+	st := e18Store()
+	ids := []string{"fig2", "s60", "s200"}
+	var rows []E18Row
+
+	// Phase 1 — warm-cache: the repeated-query steady state, serial.
+	{
+		srv := server.New(server.Config{Store: st, Workers: 2, QueueDepth: 8})
+		warm := e18WarmQueries()
+		reps := 500 * cfg.Reps
+		if reps < 1000 {
+			reps = 1000
+		}
+		ops := reps * len(warm)
+		status := map[string]int{}
+		hits := 0
+		before := metrics.Default().Snapshot()
+		for i := 0; i < ops; i++ {
+			code, hit := e18Request(srv, ids[i%len(ids)], warm[i%len(warm)])
+			status[fmt.Sprint(code)]++
+			if hit {
+				hits++
+			}
+		}
+		req, wait, depth := e18Delta(before)
+		allocs := testing.AllocsPerRun(50, func() {
+			e18Request(srv, "fig2", warm[0])
+		})
+		rows = append(rows, E18Row{
+			Phase: "warm-cache", Ops: ops, Distinct: len(warm), Concurrency: 1,
+			Workers: 2, QueueDepth: 8, Status: status,
+			CacheHits: hits, CacheHitRate: float64(hits) / float64(ops),
+			AllocsPerOp: allocs,
+			RequestNs:   req, QueueWaitNs: wait, QueueDepthSampled: depth,
+		})
+	}
+
+	// Phase 2 — cold-cache: every request is a previously unseen source
+	// text (a fresh numeric literal), so every request compiles.
+	{
+		srv := server.New(server.Config{Store: st, Workers: 2, QueueDepth: 8})
+		const ops = 512
+		status := map[string]int{}
+		hits := 0
+		before := metrics.Default().Snapshot()
+		for i := 0; i < ops; i++ {
+			src := fmt.Sprintf(`/descendant::b[count(child::c) != %d]/child::c`, 1000+e18ColdSeq.Add(1))
+			code, hit := e18Request(srv, ids[i%len(ids)], src)
+			status[fmt.Sprint(code)]++
+			if hit {
+				hits++
+			}
+		}
+		req, wait, depth := e18Delta(before)
+		rows = append(rows, E18Row{
+			Phase: "cold-cache", Ops: ops, Distinct: ops, Concurrency: 1,
+			Workers: 2, QueueDepth: 8, Status: status,
+			CacheHits: hits, CacheHitRate: float64(hits) / float64(ops),
+			RequestNs: req, QueueWaitNs: wait, QueueDepthSampled: depth,
+		})
+	}
+
+	// Phase 3 — overload: concurrent clients against one worker and a
+	// shallow queue; admission sheds the excess as 429s.
+	{
+		srv := server.New(server.Config{
+			Store: st, Workers: 1, QueueDepth: 2, Timeout: 30 * time.Second,
+		})
+		const clients, perClient = 8, 64
+		src := workload.CoreQueries()[0]
+		var mu sync.Mutex
+		status := map[string]int{}
+		hits := 0
+		before := metrics.Default().Snapshot()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					code, hit := e18Request(srv, ids[(c+i)%len(ids)], src)
+					mu.Lock()
+					status[fmt.Sprint(code)]++
+					if hit {
+						hits++
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		req, wait, depth := e18Delta(before)
+		rows = append(rows, E18Row{
+			Phase: "overload", Ops: clients * perClient, Distinct: 1,
+			Concurrency: clients, Workers: 1, QueueDepth: 2, Status: status,
+			CacheHits: hits, CacheHitRate: float64(hits) / float64(clients*perClient),
+			RequestNs: req, QueueWaitNs: wait, QueueDepthSampled: depth,
+		})
+	}
+
+	return e18Table(rows), rows
+}
+
+// e18Table renders one line per phase: volume, status split, cache hit
+// rate and the latency/queue-wait quantile summaries.
+func e18Table(rows []E18Row) *Table {
+	cols := []string{"phase", "ops", "2xx", "429", "hit rate", "allocs/op", "p50", "p99", "queue p99"}
+	params := make([]int, len(rows))
+	for i := range params {
+		params[i] = i
+	}
+	t := NewTable(
+		"E18 — query service under synthetic load",
+		"in-process httptest clients; warm/cold price the source-keyed plan cache, overload prices bounded admission (429 = shed); single-core container, no wall-clock speedup claims",
+		"#", "mixed", params, cols)
+	for i, r := range rows {
+		t.Set("phase", i, r.Phase)
+		t.Set("ops", i, fmt.Sprint(r.Ops))
+		t.Set("2xx", i, fmt.Sprint(r.Status["200"]))
+		t.Set("429", i, fmt.Sprint(r.Status["429"]))
+		t.Set("hit rate", i, fmt.Sprintf("%.2f%%", 100*r.CacheHitRate))
+		t.Set("allocs/op", i, fmt.Sprintf("%.0f", r.AllocsPerOp))
+		t.Set("p50", i, formatDuration(time.Duration(r.RequestNs.Quantile(0.50))))
+		t.Set("p99", i, formatDuration(time.Duration(r.RequestNs.Quantile(0.99))))
+		t.Set("queue p99", i, formatDuration(time.Duration(r.QueueWaitNs.Quantile(0.99))))
+	}
+	return t
+}
+
+// WriteE18JSON emits the E18 rows plus a process metrics-registry snapshot
+// as a JSON document (BENCH_E18.json at the repository root).
+func WriteE18JSON(path string, rows []E18Row) error {
+	doc := struct {
+		Experiment string           `json:"experiment"`
+		Unit       string           `json:"unit"`
+		Note       string           `json:"note"`
+		Rows       []E18Row         `json:"rows"`
+		Metrics    metrics.Snapshot `json:"metrics"`
+	}{
+		Experiment: "E18",
+		Unit:       "ops, status counts, cache-hit rate, ns histograms",
+		Note:       "synthetic in-process load against internal/server: warm-cache (repeated queries, serial), cold-cache (all-distinct queries), overload (8 clients vs 1 worker, depth-2 queue); deterministic ops/status-split/hit-rate, machine-dependent nanoseconds — no wall-clock speedup claims",
+		Rows:       rows,
+		Metrics:    metrics.Default().Snapshot(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

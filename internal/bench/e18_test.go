@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE18Smoke runs the load experiment at the smallest configuration and
+// checks the acceptance claims: the warm-cache phase hits the source cache
+// on ≥ 99% of requests and everything that should be a 200 is one.
+func TestE18Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load experiment in -short mode")
+	}
+	tbl, rows := E18(Config{Reps: 1, Sizes: []int{20}, SmallSizes: []int{10}})
+	if tbl == nil || len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 phases", len(rows))
+	}
+	byPhase := map[string]E18Row{}
+	for _, r := range rows {
+		byPhase[r.Phase] = r
+	}
+
+	warm := byPhase["warm-cache"]
+	if warm.CacheHitRate < 0.99 {
+		t.Errorf("warm-cache hit rate = %.4f, want >= 0.99", warm.CacheHitRate)
+	}
+	if warm.Status["200"] != warm.Ops {
+		t.Errorf("warm-cache status = %v, want all %d requests 200", warm.Status, warm.Ops)
+	}
+	if warm.RequestNs.Count != int64(warm.Ops) {
+		t.Errorf("warm-cache latency histogram count = %d, want %d", warm.RequestNs.Count, warm.Ops)
+	}
+
+	cold := byPhase["cold-cache"]
+	if cold.Status["200"] != cold.Ops {
+		t.Errorf("cold-cache status = %v, want all %d requests 200", cold.Status, cold.Ops)
+	}
+	// Every cold query text is fresh, so at most rounding noise can hit.
+	if cold.CacheHits != 0 {
+		t.Errorf("cold-cache hits = %d, want 0", cold.CacheHits)
+	}
+
+	over := byPhase["overload"]
+	if got := over.Status["200"] + over.Status["429"]; got != over.Ops {
+		t.Errorf("overload status = %v, want 200s+429s == %d", over.Status, over.Ops)
+	}
+	if over.Status["200"] == 0 {
+		t.Errorf("overload served nothing: %v", over.Status)
+	}
+
+	path := filepath.Join(t.TempDir(), "e18.json")
+	if err := WriteE18JSON(path, rows); err != nil {
+		t.Fatalf("WriteE18JSON: %v", err)
+	}
+	if b, err := os.ReadFile(path); err != nil || len(b) == 0 {
+		t.Fatalf("read back: %v (%d bytes)", err, len(b))
+	}
+}

@@ -543,8 +543,9 @@ func sameBatch(a, b []store.DocResult) bool {
 }
 
 // RunAll executes every experiment and prints the tables. A non-empty
-// e16JSONPath additionally emits the E16 before/after rows as JSON.
-func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath string) {
+// e16JSONPath additionally emits the E16 before/after rows as JSON
+// (likewise e17JSONPath and e18JSONPath for E17/E18).
+func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath string) {
 	start := time.Now()
 	E5(cfg).Print(w)
 	E6(cfg).Print(w)
@@ -581,6 +582,15 @@ func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath string) {
 			fmt.Fprintf(w, "E17 JSON: %v\n", err)
 		} else {
 			fmt.Fprintf(w, "wrote %s\n", e17JSONPath)
+		}
+	}
+	t18, rows18 := E18(cfg)
+	t18.Print(w)
+	if e18JSONPath != "" {
+		if err := WriteE18JSON(e18JSONPath, rows18); err != nil {
+			fmt.Fprintf(w, "E18 JSON: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", e18JSONPath)
 		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

@@ -12,11 +12,12 @@ import (
 // Process-wide plan-cache instruments (summed over every SourceCache of the
 // process; per-cache views come from the Hits/Misses/Evictions accessors).
 var (
-	mSrcHits   = metrics.Default().Counter("plan.source_cache.hits")
-	mSrcMisses = metrics.Default().Counter("plan.source_cache.misses")
-	mSrcEvicts = metrics.Default().Counter("plan.source_cache.evictions")
-	mSrcLen    = metrics.Default().Gauge("plan.source_cache.len")
-	mCompileNs = metrics.Default().Histogram("plan.compile_ns")
+	mSrcHits    = metrics.Default().Counter("plan.source_cache.hits")
+	mSrcMisses  = metrics.Default().Counter("plan.source_cache.misses")
+	mSrcErrHits = metrics.Default().Counter("plan.source_cache.error_hits")
+	mSrcEvicts  = metrics.Default().Counter("plan.source_cache.evictions")
+	mSrcLen     = metrics.Default().Gauge("plan.source_cache.len")
+	mCompileNs  = metrics.Default().Histogram("plan.compile_ns")
 )
 
 // planCache maps compiled queries to their programs. Keys are *syntax.Query
@@ -90,7 +91,9 @@ type CachedQuery struct {
 // source text: repeated traffic for the same query string skips lexing,
 // parsing, normalization, the Relev/fragment analyses and plan compilation
 // entirely. Entries are immutable and shared; concurrent lookups of the
-// same source converge on one entry.
+// same source converge on one entry. Sources that fail to compile enter a
+// bounded negative cache, so a hot invalid query is rejected from memory
+// instead of re-parsing on every request.
 //
 // Sources compiled with variable bindings must not go through a
 // SourceCache (the bindings are substituted into the tree, so source text
@@ -101,12 +104,22 @@ type SourceCache struct {
 	m        map[string]*CachedQuery
 	compiles atomic.Int64
 
+	// errs is the negative cache: sources whose compilation failed, mapped
+	// to the error the first compile produced. Without it a hot *invalid*
+	// query re-lexes and re-parses on every request — a trivial degradation
+	// vector for a server whose clients control the source text. Bounded by
+	// the same capacity as the entry map; beyond it an arbitrary error is
+	// dropped (errors are cheap to rediscover, the bound only prevents
+	// unbounded growth under churning garbage sources).
+	errs map[string]error
+
 	// tick is the cache's logical clock: every hit and insert advances it
 	// and stamps the entry, giving eviction a least-recently-used order
 	// without promoting entries under the write lock.
 	tick      atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
+	errorHits atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -116,7 +129,11 @@ func NewSourceCache(capacity int) *SourceCache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &SourceCache{cap: capacity, m: make(map[string]*CachedQuery)}
+	return &SourceCache{
+		cap:  capacity,
+		m:    make(map[string]*CachedQuery),
+		errs: make(map[string]error),
+	}
 }
 
 // Get returns the cached compilation of src, compiling and caching on a
@@ -125,40 +142,65 @@ func NewSourceCache(capacity int) *SourceCache {
 // its working set never discards a hot entry for a newly seen source's sake
 // of anything but the coldest slot.
 func (c *SourceCache) Get(src string) (*CachedQuery, error) {
-	return c.getTraced(src, nil)
+	e, _, err := c.getTraced(src, nil)
+	return e, err
 }
 
 // GetTraced is Get with an optional tracer: a cache miss that compiles
 // emits one KindCompile span (named by the source) carrying the compile
 // time. tr may be nil.
 func (c *SourceCache) GetTraced(src string, tr trace.Tracer) (*CachedQuery, error) {
+	e, _, err := c.getTraced(src, tr)
+	return e, err
+}
+
+// GetInfo is GetTraced plus a cache-hit report: hit is true when the call
+// was served from the cache without compiling anything — from the entry map
+// (err nil) or from the negative cache (err non-nil). Servers use it to
+// attribute per-request cache behavior without racing on counter deltas.
+func (c *SourceCache) GetInfo(src string, tr trace.Tracer) (e *CachedQuery, hit bool, err error) {
 	return c.getTraced(src, tr)
 }
 
-func (c *SourceCache) getTraced(src string, tr trace.Tracer) (*CachedQuery, error) {
+func (c *SourceCache) getTraced(src string, tr trace.Tracer) (*CachedQuery, bool, error) {
 	c.mu.RLock()
 	e := c.m[src]
 	if e != nil {
 		e.lastUsed.Store(c.tick.Add(1))
 	}
+	var cachedErr error
+	if e == nil {
+		cachedErr = c.errs[src]
+	}
 	c.mu.RUnlock()
 	if e != nil {
 		c.hits.Add(1)
 		mSrcHits.Add(1)
-		return e, nil
+		return e, true, nil
+	}
+	if cachedErr != nil {
+		// Negative hit: the source is known-bad; hand back the original
+		// error without re-lexing. Counted separately from hits and misses
+		// (it is neither a served compilation nor compile work).
+		c.errorHits.Add(1)
+		mSrcErrHits.Add(1)
+		return nil, true, cachedErr
 	}
 	c.misses.Add(1)
 	mSrcMisses.Add(1)
-	c.compiles.Add(1)
 	t0 := trace.Now()
 	q, err := syntax.Compile(src)
-	if err != nil {
-		return nil, err
+	var p *Program
+	if err == nil {
+		p, err = Compile(q)
 	}
-	p, err := Compile(q)
 	if err != nil {
-		return nil, err
+		c.storeError(src, err)
+		return nil, false, err
 	}
+	// Count the compile only now: a parse/compile error above produced no
+	// plan, so it must not inflate the compile counter.
+	c.compiles.Add(1)
 	compileNs := trace.Now() - t0
 	mCompileNs.Observe(compileNs)
 	if tr != nil {
@@ -172,7 +214,7 @@ func (c *SourceCache) getTraced(src string, tr trace.Tracer) (*CachedQuery, erro
 	defer c.mu.Unlock()
 	if e := c.m[src]; e != nil {
 		e.lastUsed.Store(c.tick.Add(1))
-		return e, nil // a concurrent miss won the race; converge on it
+		return e, false, nil // a concurrent miss won the race; converge on it
 	}
 	if len(c.m) >= c.cap {
 		c.evictLRULocked()
@@ -180,7 +222,25 @@ func (c *SourceCache) getTraced(src string, tr trace.Tracer) (*CachedQuery, erro
 	fresh.lastUsed.Store(c.tick.Add(1))
 	c.m[src] = fresh
 	mSrcLen.Add(1)
-	return fresh, nil
+	return fresh, false, nil
+}
+
+// storeError stores a compile failure in the bounded negative cache.
+// Concurrent failures for one source race benignly — both errors carry the
+// same message, either may win (first store kept).
+func (c *SourceCache) storeError(src string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.errs[src]; ok {
+		return
+	}
+	if len(c.errs) >= c.cap {
+		for k := range c.errs {
+			delete(c.errs, k)
+			break
+		}
+	}
+	c.errs[src] = err
 }
 
 // evictLRULocked removes the entry with the oldest recency stamp. The O(cap)
@@ -217,6 +277,11 @@ func (c *SourceCache) Hits() int64 { return c.hits.Load() }
 // Misses returns how many Gets had to compile.
 func (c *SourceCache) Misses() int64 { return c.misses.Load() }
 
+// ErrorHits returns how many Gets were answered from the negative cache —
+// a known-bad source rejected without re-parsing. Counted separately from
+// Hits and Misses.
+func (c *SourceCache) ErrorHits() int64 { return c.errorHits.Load() }
+
 // Evictions returns how many entries were displaced by capacity pressure.
 func (c *SourceCache) Evictions() int64 { return c.evictions.Load() }
 
@@ -227,7 +292,8 @@ func (c *SourceCache) Len() int {
 	return len(c.m)
 }
 
-// Compiles returns how many cache misses actually compiled. Concurrent
+// Compiles returns how many cache misses compiled successfully (a source
+// that fails to parse or plan counts zero — see ErrorHits). Concurrent
 // first requests for one source may each compile (the losers' results are
 // discarded at the store), so the count can exceed the number of distinct
 // sources while they race — but once a source is cached, further Gets add

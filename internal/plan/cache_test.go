@@ -158,14 +158,83 @@ func TestSourceCacheCounters(t *testing.T) {
 	}
 }
 
-// TestSourceCacheError: invalid queries are not cached and keep failing.
+// TestSourceCacheError: invalid queries never enter the entry map and keep
+// failing, and — the regression this pins — a failed compile contributes
+// nothing to the Compiles counter. The first version of the cache counted
+// the compile before syntax.Compile ran, so a stream of parse errors
+// inflated the counter without ever producing a plan.
 func TestSourceCacheError(t *testing.T) {
 	cache := NewSourceCache(8)
 	if _, err := cache.Get(`//a[`); err == nil {
 		t.Fatal("invalid query must fail")
 	}
 	if cache.Len() != 0 {
-		t.Error("failed compile was cached")
+		t.Error("failed compile entered the entry map")
+	}
+	if got := cache.Compiles(); got != 0 {
+		t.Errorf("Compiles() = %d after a parse error, want 0 (no plan was produced)", got)
+	}
+	if got := cache.Misses(); got != 1 {
+		t.Errorf("Misses() = %d, want 1", got)
+	}
+}
+
+// TestSourceCacheNegative: a known-bad source is answered from the negative
+// cache — the identical error value comes back (proof no re-parse happened)
+// and the ErrorHits counter moves. A hot invalid query must not cost a lex
+// and parse per request once it has failed once.
+func TestSourceCacheNegative(t *testing.T) {
+	cache := NewSourceCache(8)
+	_, err1 := cache.Get(`//a[`)
+	if err1 == nil {
+		t.Fatal("invalid query must fail")
+	}
+	_, err2 := cache.Get(`//a[`)
+	if err2 == nil {
+		t.Fatal("invalid query must keep failing")
+	}
+	if err1 != err2 {
+		t.Errorf("second Get re-parsed: got a fresh error %q, want the cached %q", err2, err1)
+	}
+	if got := cache.ErrorHits(); got != 1 {
+		t.Errorf("ErrorHits() = %d, want 1", got)
+	}
+	if got := cache.Misses(); got != 1 {
+		t.Errorf("Misses() = %d, want 1 (negative hits are not misses)", got)
+	}
+	if got := cache.Compiles(); got != 0 {
+		t.Errorf("Compiles() = %d, want 0", got)
+	}
+	// A valid source afterwards compiles exactly once.
+	if _, err := cache.Get(`/child::a`); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Compiles(); got != 1 {
+		t.Errorf("Compiles() = %d after one valid compile, want 1", got)
+	}
+	// GetInfo reports the negative hit as served-from-cache.
+	if _, hit, err := cache.GetInfo(`//a[`, nil); err == nil || !hit {
+		t.Errorf("GetInfo(bad source) = hit=%v err=%v, want a negative-cache hit", hit, err)
+	}
+	if _, hit, err := cache.GetInfo(`/child::a`, nil); err != nil || !hit {
+		t.Errorf("GetInfo(warm source) = hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+// TestSourceCacheNegativeBound: the negative cache honors the capacity
+// bound under a churn of distinct garbage sources.
+func TestSourceCacheNegativeBound(t *testing.T) {
+	cache := NewSourceCache(8)
+	for i := 0; i < 50; i++ {
+		if _, err := cache.Get(fmt.Sprintf(`//a[%d`, i)); err == nil {
+			t.Fatal("invalid query must fail")
+		}
+	}
+	cache.mu.RLock()
+	n := len(cache.errs)
+	cache.mu.RUnlock()
+	if n > 8 {
+		t.Errorf("negative cache grew to %d entries, cap 8", n)
 	}
 }
 

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Admission instruments (process-wide): how deep the queue ran, how long
+// admitted requests waited for a worker, and why rejected requests bounced.
+var (
+	mQueueDepth     = metrics.Default().Gauge("server.queue_depth")
+	mQueueDepthHist = metrics.Default().Histogram("server.queue_depth_sampled")
+	mQueueWaitNs    = metrics.Default().Histogram("server.queue_wait_ns")
+	mAdmitted       = metrics.Default().Counter("server.admitted")
+	mRejectedFull   = metrics.Default().Counter("server.rejected.queue_full")
+	mRejectedDrain  = metrics.Default().Counter("server.rejected.draining")
+)
+
+// ErrQueueFull reports that the admission queue is at capacity; the HTTP
+// layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// ErrDraining reports that the pool has begun its shutdown drain; the HTTP
+// layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("server: draining")
+
+// job is one admitted unit of work: the function to run and the monotonic
+// enqueue time feeding the queue-wait histogram.
+type job struct {
+	run      func()
+	enqueued int64
+}
+
+// pool is the admission layer in front of the evaluation work: a bounded
+// job queue drained by a fixed set of worker goroutines. Submit never
+// blocks — a full queue is an immediate ErrQueueFull, which is the whole
+// point: under overload the server sheds load at the front door in O(1)
+// instead of stacking goroutines until memory runs out.
+type pool struct {
+	jobs chan job
+	wg   sync.WaitGroup
+
+	// draining flips once, before the queue closes. Submit holds the read
+	// lock while it checks the flag and enqueues, and drain takes the write
+	// lock between setting the flag and closing the channel — so no Submit
+	// can slip a job into a closed channel.
+	mu       sync.RWMutex
+	draining atomic.Bool
+}
+
+// newPool starts workers goroutines draining a queue of the given depth.
+func newPool(workers, depth int) *pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	p := &pool{jobs: make(chan job, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				mQueueDepth.Set(int64(len(p.jobs)))
+				mQueueWaitNs.Observe(trace.Now() - j.enqueued)
+				j.run()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues run for execution, never blocking: ErrQueueFull when the
+// queue is at capacity, ErrDraining once shutdown has begun. On success the
+// job will run exactly once, even if drain starts meanwhile (drain closes
+// the queue but the workers finish everything already admitted).
+func (p *pool) submit(run func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.draining.Load() {
+		mRejectedDrain.Add(1)
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- job{run: run, enqueued: trace.Now()}:
+		depth := int64(len(p.jobs))
+		mQueueDepth.Set(depth)
+		mQueueDepthHist.Observe(depth)
+		mAdmitted.Add(1)
+		return nil
+	default:
+		mRejectedFull.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// depth returns the current queue length (diagnostics; racy by nature).
+func (p *pool) depth() int { return len(p.jobs) }
+
+// isDraining reports whether shutdown has begun.
+func (p *pool) isDraining() bool { return p.draining.Load() }
+
+// drain stops admission and blocks until every already-admitted job has
+// run. Safe to call more than once; later calls just wait.
+func (p *pool) drain() {
+	if !p.draining.Swap(true) {
+		p.mu.Lock()
+		close(p.jobs)
+		p.mu.Unlock()
+	}
+	p.wg.Wait()
+}

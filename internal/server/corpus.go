@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	xpath "repro"
+)
+
+// LoadCorpus builds the document store a server fronts: from a binary
+// snapshot file (Store.WriteSnapshot / the CLI's -savestore), or from
+// every *.xml file of a directory, keyed by file name in sorted order.
+func LoadCorpus(path string) (*xpath.Store, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return xpath.LoadStore(f)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	st := xpath.NewStore()
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(path, name))
+		if err != nil {
+			return nil, err
+		}
+		doc, err := xpath.ParseDocument(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if err := st.Add(name, doc); err != nil {
+			return nil, err
+		}
+	}
+	if st.Len() == 0 {
+		return nil, fmt.Errorf("%s: no *.xml files", path)
+	}
+	return st, nil
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Router instruments (process-wide): request volume, per-status-class
+// counts, and whole-request wall time.
+var (
+	mRequests  = metrics.Default().Counter("server.requests")
+	mRequestNs = metrics.Default().Histogram("server.request_ns")
+	mStatus    = [6]*metrics.Counter{
+		nil,
+		metrics.Default().Counter("server.status.1xx"),
+		metrics.Default().Counter("server.status.2xx"),
+		metrics.Default().Counter("server.status.3xx"),
+		metrics.Default().Counter("server.status.4xx"),
+		metrics.Default().Counter("server.status.5xx"),
+	}
+)
+
+// router is a minimal exact-path, per-method dispatcher. The endpoint set
+// is small and fixed, so there is no pattern matching: unknown paths are
+// 404, known paths with the wrong method are 405 with an Allow header.
+// Every dispatched request runs inside the instrumentation wrapper that
+// feeds the request counters and the status-class metrics.
+type router struct {
+	routes map[string]map[string]http.HandlerFunc // path → method → handler
+}
+
+func newRouter() *router {
+	return &router{routes: make(map[string]map[string]http.HandlerFunc)}
+}
+
+// handle registers h for method on the exact path.
+func (rt *router) handle(method, path string, h http.HandlerFunc) {
+	byMethod := rt.routes[path]
+	if byMethod == nil {
+		byMethod = make(map[string]http.HandlerFunc)
+		rt.routes[path] = byMethod
+	}
+	byMethod[method] = h
+}
+
+// statusWriter captures the status code a handler writes, for the
+// status-class counters (implicit 200 when the handler never calls
+// WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP dispatches and instruments one request.
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t0 := trace.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	rt.dispatch(sw, r)
+	mRequests.Add(1)
+	mRequestNs.Observe(trace.Now() - t0)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	if class := status / 100; class >= 1 && class <= 5 {
+		mStatus[class].Add(1)
+	}
+}
+
+func (rt *router) dispatch(w http.ResponseWriter, r *http.Request) {
+	byMethod, ok := rt.routes[r.URL.Path]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
+		return
+	}
+	h, ok := byMethod[r.Method]
+	if !ok {
+		allowed := make([]string, 0, len(byMethod))
+		for m := range byMethod {
+			allowed = append(allowed, m)
+		}
+		sort.Strings(allowed)
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("%s not allowed on %s", r.Method, r.URL.Path))
+		return
+	}
+	h(w, r)
+}

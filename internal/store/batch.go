@@ -87,17 +87,28 @@ func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.S
 				if i >= len(items) {
 					return
 				}
+				it := items[i]
+				if it.doc == nil {
+					// Unknown ID: no evaluation happens, so the item must
+					// not feed the queue-wait histogram — and a shared
+					// tracer still gets its KindBatchDoc span (zero-cost,
+					// unknown cardinality), so a traced batch accounts for
+					// exactly len(Docs) documents, errors included.
+					results[i] = DocResult{ID: it.id,
+						Err: fmt.Errorf("store: no document with ID %q", it.id)}
+					mBatchErrors.Add(1)
+					if opts.Tracer != nil {
+						opts.Tracer.Emit(trace.Event{
+							Kind: trace.KindBatchDoc, Name: it.id,
+							In: trace.CardUnknown, Out: trace.CardUnknown, Ns: 0,
+						})
+					}
+					continue
+				}
 				// Queue wait: how long the item sat behind earlier claims
 				// before a worker reached it.
 				tClaim := trace.Now()
 				mQueueWaitNs.Observe(tClaim - t0)
-				it := items[i]
-				if it.doc == nil {
-					results[i] = DocResult{ID: it.id,
-						Err: fmt.Errorf("store: no document with ID %q", it.id)}
-					mBatchErrors.Add(1)
-					continue
-				}
 				ctx := engine.RootContext(it.doc)
 				ctx.Tracer = opts.Tracer
 				v, st, err := opts.Engine.Evaluate(q, it.doc, ctx)

@@ -71,11 +71,15 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	if len(contexts) < minParallelContexts*workers {
 		mParSerial.Add(1)
 		// Not enough contexts to pay for the fan-out: finish the final step
-		// on this goroutine, reusing the head result already computed.
+		// on this goroutine, reusing the head result already computed. The
+		// shared-tracer contract of ParallelOptions.Tracer holds here too —
+		// the tail steps must reach the caller's tracer exactly as they
+		// would on the parallel path.
 		acc := xmltree.NewSet(doc)
 		agg := hst
 		for _, x := range contexts {
-			v, st, err := eng.Evaluate(tail, doc, engine.Context{Node: x, Pos: 1, Size: 1})
+			v, st, err := eng.Evaluate(tail, doc,
+				engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer})
 			agg.Add(st)
 			if err != nil {
 				return values.Value{}, agg, false, err

@@ -4,9 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/corexpath"
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/topdown"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -122,6 +124,40 @@ func TestSplitCachedStable(t *testing.T) {
 	}
 	if h1 != h2 || t1 != t2 {
 		t.Error("splitCached returned fresh query objects on a repeat call")
+	}
+}
+
+// TestSerialFallbackPropagatesTracer pins the shared-tracer contract on the
+// low-context serial fallback: when a partitionable query's context set is
+// below the fan-out threshold, the tail steps are evaluated on the calling
+// goroutine — and their spans must still reach ctx.Tracer, exactly as they
+// would on the parallel path. (The first version of the fallback built the
+// per-context engine.Context without the tracer, so per-step spans silently
+// vanished precisely when the fallback triggered.)
+func TestSerialFallbackPropagatesTracer(t *testing.T) {
+	doc := workload.Figure2() // two <b> sections: far below minParallelContexts*workers
+	q := mustQuery(t, `/child::a/child::b/child::c`)
+	eng := corexpath.New()
+	rec := trace.NewRecorder()
+	ctx := engine.RootContext(doc)
+	ctx.Tracer = rec
+	_, _, parallel, err := EvaluateParallel(eng, q, doc, ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel {
+		t.Fatal("tiny document: want the below-threshold serial fallback")
+	}
+	var tailSteps int64
+	for _, row := range rec.Rows() {
+		if row.Kind == trace.KindStep && row.Name == `child::c` {
+			tailSteps += row.Calls
+		}
+	}
+	// The head yields two <b> context nodes, so the tail step must have
+	// been traced twice — once per context.
+	if tailSteps != 2 {
+		t.Errorf("recorder saw %d tail-step spans, want 2 (tracer lost on the serial fallback)", tailSteps)
 	}
 }
 

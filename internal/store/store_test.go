@@ -9,8 +9,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/syntax"
+	"repro/internal/trace"
 	"repro/internal/values"
 	"repro/internal/workload"
 )
@@ -168,6 +170,52 @@ func TestBatchQuerySubset(t *testing.T) {
 	}
 	if res[0].Err != nil || res[1].Err != nil || res[3].Err != nil {
 		t.Error("known IDs: want no error")
+	}
+}
+
+// TestBatchUnknownIDSpans pins the tracing contract for erroring batches: a
+// shared recorder must see exactly one KindBatchDoc span per selected
+// document — unknown IDs included — so span count always equals len(Docs).
+// It also pins the metrics side: unknown IDs evaluate nothing, so they must
+// not feed the store.batch.queue_wait_ns histogram. (The first version
+// skipped the span and observed the queue wait for nil-document entries, so
+// a traced batch with erroring IDs undercounted documents versus Errs()
+// while polluting the wait distribution.)
+func TestBatchUnknownIDSpans(t *testing.T) {
+	s := corpus(t, 4)
+	q := mustQuery(t, `//c`)
+	ids := []string{"doc-000", "ghost-a", "doc-002", "ghost-b", "doc-003"}
+	rec := trace.NewRecorder()
+	before := metrics.Default().Snapshot()
+	res, _ := s.Query(q, QueryOptions{
+		Engine: core.NewOptMinContext(), Workers: 2, IDs: ids, Tracer: rec,
+	})
+	delta := metrics.Default().Snapshot().Sub(before)
+	if len(res) != len(ids) {
+		t.Fatalf("len: %d want %d", len(res), len(ids))
+	}
+	var spans int64
+	for _, row := range rec.Rows() {
+		if row.Kind == trace.KindBatchDoc {
+			spans += row.Calls
+		}
+	}
+	if spans != int64(len(ids)) {
+		t.Errorf("recorder saw %d batch-doc spans, want %d (one per selected document)", spans, len(ids))
+	}
+	for _, ghost := range []string{"ghost-a", "ghost-b"} {
+		found := false
+		for _, row := range rec.Rows() {
+			if row.Kind == trace.KindBatchDoc && row.Name == ghost {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no batch-doc span for unknown ID %q", ghost)
+		}
+	}
+	if got := delta.Histograms["store.batch.queue_wait_ns"].Count; got != 3 {
+		t.Errorf("queue_wait_ns observed %d items, want 3 (unknown IDs must not pollute the wait histogram)", got)
 	}
 }
 

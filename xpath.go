@@ -290,16 +290,52 @@ var queryCache = plan.NewSourceCache(1024)
 // query source: repeated traffic for the same expression skips lexing,
 // parsing, normalization, analysis and plan compilation entirely, and
 // EngineCompiled evaluations of the returned query reuse its precompiled
-// instruction program. Queries needing variable bindings must use
+// instruction program. Sources that fail to compile enter a bounded
+// negative cache, so repeated traffic for an invalid expression is rejected
+// without re-parsing. Queries needing variable bindings must use
 // CompileWithVars (bindings are substituted into the tree, so source text
 // alone would not identify them).
 func CompileCached(src string) (*Query, error) {
-	e, err := queryCache.Get(src)
+	q, _, err := CompileCachedTraced(src, nil)
+	return q, err
+}
+
+// CompileCachedTraced is CompileCached with two server-grade extras: an
+// optional tracer (a miss that compiles emits one KindCompile span carrying
+// the compile time; tr may be nil) and a cache-hit report — hit is true
+// when the call was served from the cache without compiling, including
+// rejections served from the negative cache. The HTTP front-end uses it to
+// attribute per-request cache behavior without racing on counter deltas.
+func CompileCachedTraced(src string, tr Tracer) (q *Query, hit bool, err error) {
+	e, hit, err := queryCache.GetInfo(src, tr)
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
 	compiledEngine.Prime(e.Query, e.Prog)
-	return &Query{q: e.Query}, nil
+	return &Query{q: e.Query}, hit, nil
+}
+
+// QueryCacheStats is a point-in-time view of the CompileCached source
+// cache's counters: served hits, compiling misses, negative-cache hits
+// (known-bad sources rejected without re-parsing), capacity evictions,
+// successful compiles, and the current entry count.
+type QueryCacheStats struct {
+	Hits, Misses, ErrorHits, Evictions, Compiles int64
+	Len                                          int
+}
+
+// CompileCachedStats reports the process-wide CompileCached cache counters
+// — the hit-rate source of truth for the HTTP front-end's /stats endpoint
+// and the E18 load experiment.
+func CompileCachedStats() QueryCacheStats {
+	return QueryCacheStats{
+		Hits:      queryCache.Hits(),
+		Misses:    queryCache.Misses(),
+		ErrorHits: queryCache.ErrorHits(),
+		Evictions: queryCache.Evictions(),
+		Compiles:  queryCache.Compiles(),
+		Len:       queryCache.Len(),
+	}
 }
 
 // CompileWithVars compiles with an input variable binding (§2.2 replaces
