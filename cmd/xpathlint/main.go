@@ -1,0 +1,77 @@
+// Command xpathlint runs the repository's invariant analyzers (package
+// internal/lint) over Go packages, go vet style:
+//
+//	go run ./cmd/xpathlint ./...
+//	go run ./cmd/xpathlint -checks noalloc,tracerguard ./internal/plan
+//
+// It prints one file:line:col: analyzer: message line per finding and
+// exits 1 when anything is found, so CI can gate on it directly. The
+// -json flag emits the findings as a JSON array instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		checks   = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		listOnly = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		named, ok := lint.ByName(strings.Split(*checks, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xpathlint: unknown analyzer in -checks=%s (try -list)\n", *checks)
+			os.Exit(2)
+		}
+		analyzers = named
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpathlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if diags == nil {
+		diags = []lint.Diagnostic{} // a clean run is [], not null
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "xpathlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xpathlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -53,6 +53,8 @@ func (sc *Scratch) Release() {
 // (the bitset words held for the sibling-kernel dedup marks). Tracing
 // engines report it in their step spans; the call is allocation-free and a
 // nil Scratch reports 0.
+//
+//xpathlint:noalloc
 func (sc *Scratch) HighWater() int64 {
 	if sc == nil || sc.seen == nil {
 		return 0
@@ -81,6 +83,8 @@ func (sc *Scratch) seenSet(doc *xmltree.Document) *xmltree.Set {
 // for every axis except id (whose output depends on string values, not
 // topology). Runs in O(|D|/w + |X| + |output|) word operations for the
 // structural axes, against the O(|D|) node scans of ApplyReference.
+//
+//xpathlint:noalloc
 func ApplyInto(dst *xmltree.Set, a Axis, x *xmltree.Set, sc *Scratch) {
 	if referenceMode.Load() {
 		dst.CopyFrom(ApplyReference(a, x))
@@ -242,6 +246,7 @@ func ApplyInto(dst *xmltree.Set, a Axis, x *xmltree.Set, sc *Scratch) {
 		}
 
 	default:
+		//xpathlint:ignore noalloc cold panic path, unreachable for valid axes
 		panic("axes: ApplyInto: unknown axis " + a.String())
 	}
 }
@@ -252,6 +257,8 @@ func ApplyInto(dst *xmltree.Set, a Axis, x *xmltree.Set, sc *Scratch) {
 // T(t) set of the step's node test (Document.LabelSet / AllElements /
 // AllNodes); nil means node(), i.e. no restriction. dst must alias neither
 // x nor test.
+//
+//xpathlint:noalloc
 func ApplyTest(dst *xmltree.Set, a Axis, x *xmltree.Set, test *xmltree.Set, sc *Scratch) {
 	ApplyInto(dst, a, x, sc)
 	if test != nil {
@@ -263,6 +270,8 @@ func ApplyTest(dst *xmltree.Set, a Axis, x *xmltree.Set, test *xmltree.Set, sc *
 // cleared first. For the structural axes this is ApplyInto of the symmetric
 // axis; for the id-axis it is the F[[Op]]⁻¹ computation of Section 6,
 // evaluated without materializing any per-node dereference sets.
+//
+//xpathlint:noalloc
 func ApplyInverseInto(dst *xmltree.Set, a Axis, y *xmltree.Set, sc *Scratch) {
 	if a != ID {
 		ApplyInto(dst, a.Inverse(), y, sc)

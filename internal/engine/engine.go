@@ -75,6 +75,8 @@ type Engine interface {
 // MatchTest reports whether node n passes node test t. The document root is
 // matched only by node() — it is not part of dom (§2.1, cf. the running
 // example where dom excludes the root).
+//
+//xpathlint:noalloc
 func MatchTest(t syntax.NodeTest, n *xmltree.Node) bool {
 	switch t.Kind {
 	case syntax.TestNode:
@@ -113,6 +115,8 @@ func StepImage(st *Stats, a axes.Axis, t syntax.NodeTest, x *xmltree.Set) *xmltr
 // kernel writes χ(X) into dst (cleared first) and the node test is applied
 // as one word-parallel bitset intersection instead of a per-node filter.
 // dst is caller-owned and must not alias x or a shared document set.
+//
+//xpathlint:noalloc
 func StepImageInto(st *Stats, dst *xmltree.Set, a axes.Axis, t syntax.NodeTest, x *xmltree.Set, sc *axes.Scratch) {
 	st.AxisCalls++
 	var test *xmltree.Set
@@ -127,6 +131,8 @@ func StepImageInto(st *Stats, dst *xmltree.Set, a axes.Axis, t syntax.NodeTest, 
 // that makes idxχ the 1-based slice index. The list is appended to dst and
 // filtered in place, so a reused buffer with capacity makes the call
 // allocation-free.
+//
+//xpathlint:noalloc
 func Candidates(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, dst []*xmltree.Node) []*xmltree.Node {
 	base := len(dst)
 	dst = axes.Neighborhood(a, x, dst)
@@ -144,6 +150,8 @@ func Candidates(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, dst []*xmltree.
 
 // CandidatesWithin returns Candidates restricted to members of keep,
 // preserving order. Used where the pseudo-code writes Z := {z ∈ Y | x χ z}.
+//
+//xpathlint:noalloc
 func CandidatesWithin(a axes.Axis, t syntax.NodeTest, x *xmltree.Node, keep *xmltree.Set, dst []*xmltree.Node) []*xmltree.Node {
 	base := len(dst)
 	dst = axes.Neighborhood(a, x, dst)

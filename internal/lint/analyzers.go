@@ -1,0 +1,23 @@
+package lint
+
+// All returns every xpathlint analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{LockHeld, MapOrder, NoAlloc, ScratchOwn, TracerGuard}
+}
+
+// ByName returns the named analyzers; unknown names return nil, false.
+func ByName(names []string) ([]*Analyzer, bool) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

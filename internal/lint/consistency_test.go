@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoallocAnnotationsHaveAllocGuards pins the static annotations to
+// the runtime guards: every function annotated //xpathlint:noalloc must
+// be reachable, through the repository's call graph, from a closure
+// measured by testing.AllocsPerRun. The analyzer proves "no syntactic
+// allocator"; the AllocsPerRun pin proves "zero allocations observed";
+// an annotation without a pin is a claim nobody measures.
+//
+// Reachability is name-based (a call to Add marks every function named
+// Add), which is deliberately over-approximate: it can never rot into
+// false failures when a method moves between types, and an annotated
+// function that is not even name-reachable from any measured closure is
+// unambiguously unguarded.
+func TestNoallocAnnotationsHaveAllocGuards(t *testing.T) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." && name != ".." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+
+	annotated := make(map[string][]token.Position) // bare name → decl sites
+	calls := make(map[string]map[string]bool)      // bare name → bare callee names
+	roots := make(map[string]bool)                 // names called inside AllocsPerRun closures
+
+	calleeNames := func(n ast.Node, into map[string]bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				into[fun.Name] = true
+			case *ast.SelectorExpr:
+				into[fun.Sel.Name] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasAnnotation(fn, "noalloc") {
+				annotated[fn.Name.Name] = append(annotated[fn.Name.Name], fset.Position(fn.Pos()))
+			}
+			if fn.Body == nil {
+				continue
+			}
+			set := calls[fn.Name.Name]
+			if set == nil {
+				set = make(map[string]bool)
+				calls[fn.Name.Name] = set
+			}
+			calleeNames(fn.Body, set)
+		}
+		// Roots: the closures handed to testing.AllocsPerRun.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					calleeNames(lit.Body, roots)
+				} else if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					// AllocsPerRun(n, f) where f is a named closure:
+					// treat the name itself as called.
+					roots[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	if len(annotated) == 0 {
+		t.Fatal("no //xpathlint:noalloc annotations found — the guard test is vacuous")
+	}
+	if len(roots) == 0 {
+		t.Fatal("no testing.AllocsPerRun closures found — the guard test is vacuous")
+	}
+
+	reachable := make(map[string]bool)
+	queue := make([]string, 0, len(roots))
+	for name := range roots {
+		reachable[name] = true
+		queue = append(queue, name)
+	}
+	for len(queue) > 0 {
+		name := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for callee := range calls[name] {
+			if !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for name, sites := range annotated {
+		if !reachable[name] {
+			t.Errorf("%s is annotated //xpathlint:noalloc at %v but is not reachable from any testing.AllocsPerRun closure — add a runtime allocation guard or drop the annotation", name, sites)
+		}
+	}
+}

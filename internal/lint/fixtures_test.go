@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest conventions on the
+// hermetic loader: each package under testdata/src carries
+//
+//	code // want `regexp`
+//
+// comments on the lines where diagnostics must appear (several per line
+// allowed, one backquoted regexp each), and
+//
+//	// want+ `regexp`
+//
+// on the line above when the flagged line is itself a comment (the
+// malformed-directive cases). Every diagnostic must match a want and
+// every want must be matched.
+var fixtureTests = []struct {
+	path      string
+	analyzers []*Analyzer
+}{
+	{"noalloc", []*Analyzer{NoAlloc}},
+	{"scratchown", []*Analyzer{ScratchOwn}},
+	{"tracerguard", []*Analyzer{TracerGuard}},
+	{"maporder", []*Analyzer{MapOrder}},
+	{"lockheld", []*Analyzer{LockHeld}},
+	{"ignore", All()}, // the escape hatch interacts with every analyzer
+}
+
+func TestFixtures(t *testing.T) {
+	for _, tc := range fixtureTests {
+		t.Run(tc.path, func(t *testing.T) {
+			pkg, err := LoadFixture("testdata/src", tc.path)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := Run([]*Package{pkg}, tc.analyzers)
+			checkWants(t, pkg, diags)
+		})
+	}
+}
+
+type wantExpect struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	matched bool
+}
+
+var backquoted = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the // want and // want+ comments of a fixture
+// package into file → line → expectations.
+func collectWants(t *testing.T, pkg *Package) map[string]map[int][]*wantExpect {
+	t.Helper()
+	wants := make(map[string]map[int][]*wantExpect)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var offset int
+				switch {
+				case strings.HasPrefix(text, "want+"):
+					offset = 1
+				case strings.HasPrefix(text, "want"):
+					offset = 0
+				default:
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				groups := backquoted.FindAllStringSubmatch(text, -1)
+				if len(groups) == 0 {
+					t.Errorf("%s:%d: want comment carries no backquoted regexp", pos.Filename, pos.Line)
+					continue
+				}
+				lines := wants[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*wantExpect)
+					wants[pos.Filename] = lines
+				}
+				for _, g := range groups {
+					re, err := regexp.Compile(g[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, g[1], err)
+						continue
+					}
+					ln := pos.Line + offset
+					lines[ln] = append(lines[ln], &wantExpect{re: re, raw: g[1], line: ln})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	total := 0
+	for _, lines := range wants {
+		for _, ws := range lines {
+			total += len(ws)
+		}
+	}
+	if total == 0 {
+		t.Fatalf("fixture %s has no want comments — the harness would vacuously pass", pkg.Path)
+	}
+	for _, d := range diags {
+		s := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(s) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for _, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want `%s`", file, w.line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+// TestFixtureCleanFunctionsStayClean pins the negative space: running
+// every analyzer over every fixture must produce no diagnostic outside
+// the want-annotated lines (checkWants already enforces this — the test
+// here asserts the fixtures load under the full suite, catching, e.g., a
+// fake package drifting from what an analyzer type-matches).
+func TestFixtureCleanFunctionsStayClean(t *testing.T) {
+	for _, tc := range fixtureTests {
+		pkg, err := LoadFixture("testdata/src", tc.path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", tc.path, err)
+		}
+		for _, d := range Run([]*Package{pkg}, All()) {
+			lines := collectWants(t, pkg)[d.Pos.Filename]
+			found := false
+			for _, w := range lines[d.Pos.Line] {
+				if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("full suite over %s: unexpected diagnostic %s", tc.path, d)
+			}
+		}
+	}
+}
+
+// TestIgnoreDirectiveIsLoadBearing removes the ignore directives from
+// the ignore fixture's source and re-runs the suite: the suppressed
+// diagnostics must reappear. This is the "deleting the escape hatch
+// fails the build" guarantee, tested end to end.
+func TestIgnoreDirectiveIsLoadBearing(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src", "ignore")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	base := len(Run([]*Package{pkg}, All()))
+
+	// Drop every comment group so no directive (and no want) survives;
+	// diagnostics attached to suppressed lines must come back.
+	for _, f := range pkg.Files {
+		f.Comments = nil
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				n.Doc = nil
+			case *ast.GenDecl:
+				n.Doc = nil
+			}
+			return true
+		})
+	}
+	stripped := Run([]*Package{pkg}, All())
+	// Stripping comments also removes the //xpathlint:noalloc annotation
+	// on multiName, so compare against the tracerguard count alone: the
+	// fixture has 4 suppressed or annotation-dependent tracer calls that
+	// must reappear (suppressedSameLine, suppressedLineAbove, multiName,
+	// wildcard) on top of the 4 that were already flagged.
+	var tracer int
+	for _, d := range stripped {
+		if d.Analyzer == "tracerguard" {
+			tracer++
+		}
+	}
+	if tracer != 8 {
+		t.Errorf("stripped fixture: got %d tracerguard diagnostics, want 8 (suppression was not load-bearing); all: %v", tracer, stripped)
+	}
+	if base >= tracer {
+		t.Errorf("suppression not observable: %d diagnostics with directives, %d without", base, tracer)
+	}
+}

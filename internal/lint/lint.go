@@ -1,0 +1,292 @@
+// Package lint is xpathlint: a suite of static analyzers that
+// machine-check the engine's hot-path invariants — the conventions that
+// keep the paper's O(|D|·|Q|) guarantees true in this codebase but that
+// used to live only in README prose and reviewer memory.
+//
+// The five analyzers:
+//
+//   - noalloc: functions annotated //xpathlint:noalloc may not contain
+//     syntactic allocators (make/new, allocating composite literals,
+//     growing append, runtime string concatenation, fmt/errors calls,
+//     closures, go statements, interface boxing). It is the compile-time
+//     companion of the runtime testing.AllocsPerRun pins.
+//   - scratchown: a *axes.Scratch or dst *xmltree.Set parameter is a
+//     borrow — it must not be stored into a struct field, global, or
+//     channel, and must not be returned (the kernel ownership rule of
+//     the README).
+//   - tracerguard: every method call on a trace.Tracer-typed expression
+//     must be dominated by a nil check, preserving the "nil tracer is
+//     strictly zero-cost" contract.
+//   - maporder: functions annotated //xpathlint:deterministic (the ones
+//     producing user-visible or wire-format output) may range over a map
+//     only to accumulate order-insensitively (collect-then-sort,
+//     counting); and in any function, a map range whose body writes
+//     output directly is flagged.
+//   - lockheld: no blocking channel send and no pool submit while
+//     holding a sync.Mutex/RWMutex (the admission-layer rule of
+//     internal/server).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is built on the standard
+// library alone: this module has no dependencies and the build
+// environment has no module proxy access, so the x/tools framework is
+// unavailable. If the dependency ever lands, each Analyzer.Run ports
+// one-to-one.
+//
+// Suppression: a comment
+//
+//	//xpathlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line, or alone on the line above it, suppresses those
+// analyzers' diagnostics there. The reason is mandatory: a directive
+// without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a package and reports
+// findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// Run applies the analyzers to the packages, resolves ignore directives,
+// and returns the surviving diagnostics sorted by position. Malformed
+// and unused-analyzer-name directives are themselves reported under the
+// analyzer name "xpathlint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			a.Run(pass)
+		}
+		ignores, bad := collectIgnores(pkg.Fset, pkg.Files, known)
+		diags = append(diags, bad...)
+		for _, d := range diags {
+			if ignores.covers(d) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// ignoreSet maps file → line → analyzer names suppressed at that line.
+// A directive suppresses its own line and the line below, so both the
+// end-of-line and the line-above comment placements work.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) covers(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names[d.Analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//xpathlint:ignore"
+
+// collectIgnores scans every comment for ignore directives. Directives
+// missing a reason or naming no known analyzer are returned as
+// diagnostics so the escape hatch cannot rot silently.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) (ignoreSet, []Diagnostic) {
+	ig := make(ignoreSet)
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "xpathlint",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //xpathlint:ignoreXYZ — not a directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "ignore directive names no analyzer (want //xpathlint:ignore <analyzer> <reason>)")
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				valid := true
+				for _, n := range names {
+					if n != "*" && !known[n] {
+						report(c.Pos(), "ignore directive names unknown analyzer %q", n)
+						valid = false
+					}
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "ignore directive for %q has no reason (the reason is mandatory)", fields[0])
+					valid = false
+				}
+				if !valid {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ig[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ig[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return ig, bad
+}
+
+// hasAnnotation reports whether the function's doc comment carries the
+// //xpathlint:<name> marker.
+func hasAnnotation(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	want := "//xpathlint:" + name
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers and reports the named type's package path
+// and name; ok is false for unnamed types.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// typeIs reports whether t (or the type it points to) is the named type
+// pkg.name, where pkg matches the last path segment — so the check holds
+// for both the real package ("repro/internal/axes") and the fixture fake
+// ("axes").
+func typeIs(t types.Type, pkg, name string) bool {
+	if t == nil {
+		return false
+	}
+	p, n, ok := namedType(t)
+	if !ok || n != name {
+		return false
+	}
+	return p == pkg || strings.HasSuffix(p, "/"+pkg)
+}
+
+// pkgPathIs reports whether path names the package pkg, by exact match
+// or last segment (fixture fakes live at the bare path).
+func pkgPathIs(path, pkg string) bool {
+	return path == pkg || strings.HasSuffix(path, "/"+pkg)
+}
+
+// exprString renders an expression compactly for matching and messages
+// (types.ExprString is stable for the selector chains we compare).
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// funcName renders a FuncDecl's name including the receiver type, for
+// messages: "(*machine).runBlock" or "ApplyInto".
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	return "(" + exprString(fn.Recv.List[0].Type) + ")." + fn.Name.Name
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// newInfo returns a types.Info with every map the analyzers read.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads and type-checks the packages matching patterns,
+// rooted at dir (the module root or any directory inside it). It shells
+// out to `go list -export` for dependency resolution so the type
+// information is exactly what the compiler built, without re-checking
+// the world from source.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: unsafeAware{imp}}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:      t.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// unsafeAware routes "unsafe" to the builtin package; the gc export
+// importer handles everything else.
+type unsafeAware struct{ types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.Importer.Import(path)
+}
+
+func goList(dir string, withDeps bool, patterns []string) ([]listedPkg, error) {
+	args := []string{"list", "-e", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Incomplete,Error"}
+	if withDeps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// fixtureLoader type-checks hermetic GOPATH-style fixture trees
+// (testdata/src/<import path>/*.go). Imports resolve inside the tree
+// only — fixtures fake the few external packages they mention (fmt,
+// sync, axes, trace, xmltree), which keeps analyzer tests independent
+// of GOROOT and fast.
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*Package
+}
+
+// LoadFixture loads the fixture package at srcRoot/path (and,
+// transitively, everything it imports from the same tree).
+func LoadFixture(srcRoot, path string) (*Package, error) {
+	l := &fixtureLoader{root: srcRoot, fset: token.NewFileSet(), cache: make(map[string]*Package)}
+	return l.load(path)
+}
+
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: fixture %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: fixture %q: no Go files", path)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixtureImporter{l}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", path, err)
+	}
+	p := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, TypesInfo: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	p, err := fi.l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// LockHeld enforces the admission-layer rule of internal/server: while
+// holding a sync.Mutex or sync.RWMutex, a function may not block on a
+// channel send or hand work to a pool. A blocking send while holding
+// the admission mutex would let one slow consumer wedge every
+// submitter — the bounded-queue design exists precisely so overload
+// sheds in O(1) at the front door.
+//
+// The analyzer tracks lock regions lexically inside one function:
+// x.Lock()/x.RLock() opens a region for x, x.Unlock()/x.RUnlock()
+// closes it, and defer x.Unlock() holds to the end of the function.
+// While any region is open it flags channel sends (unless inside a
+// select with a default clause — a non-blocking try-send) and calls to
+// methods named submit/Submit.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "forbid blocking channel sends and pool submits while holding a mutex",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := make(map[string]bool)
+			checkLockHeld(pass, fn, fn.Body.List, held)
+		}
+	}
+}
+
+// lockCall classifies a call as a mutex acquire (+name), release
+// (-name), or neither, keyed by the printed receiver expression.
+func lockCall(pass *Pass, call *ast.CallExpr) (recv string, acquire, release bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || (!typeIs(t, "sync", "Mutex") && !typeIs(t, "sync", "RWMutex")) {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkLockHeld walks stmts in order, maintaining the set of held lock
+// receivers, and flags blocking operations while the set is non-empty.
+// Nested blocks inherit (a copy of) the current state.
+func checkLockHeld(pass *Pass, fn *ast.FuncDecl, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, acq, rel := lockCall(pass, call); acq {
+					held[recv] = true
+					continue
+				} else if rel {
+					delete(held, recv)
+					continue
+				}
+			}
+			flagBlockingIn(pass, fn, s, held, false)
+		case *ast.DeferStmt:
+			// defer x.Unlock() keeps the lock held to function end — the
+			// held set simply stays as is. Other defers are inspected for
+			// blocking work that would run while held... at Unlock time
+			// the lock is being released, so skip.
+			if _, _, rel := lockCall(pass, s.Call); rel {
+				continue
+			}
+			flagBlockingIn(pass, fn, s, held, false)
+		case *ast.SendStmt:
+			flagBlockingIn(pass, fn, s, held, false)
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			for _, c := range s.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm != nil {
+					// The comm op itself blocks only without a default.
+					flagBlockingIn(pass, fn, cc.Comm, held, hasDefault)
+				}
+				checkLockHeld(pass, fn, cc.Body, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			checkLockHeld(pass, fn, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			flagBlockingIn(pass, fn, s.Cond, held, false)
+			checkLockHeld(pass, fn, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				checkLockHeld(pass, fn, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			checkLockHeld(pass, fn, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			checkLockHeld(pass, fn, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockHeld(pass, fn, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockHeld(pass, fn, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.GoStmt:
+			// A new goroutine does not hold this goroutine's locks.
+			checkLockHeld(pass, fn, bodyOf(s.Call), make(map[string]bool))
+		default:
+			flagBlockingIn(pass, fn, s, held, false)
+		}
+	}
+}
+
+// bodyOf returns the statements of a go'd function literal, if any.
+func bodyOf(call *ast.CallExpr) []ast.Stmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body.List
+	}
+	return nil
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// flagBlockingIn reports channel sends and submit calls inside node
+// while locks are held. nonBlockingSend exempts the send (it sits in a
+// select with a default clause).
+func flagBlockingIn(pass *Pass, fn *ast.FuncDecl, node ast.Node, held map[string]bool, nonBlockingSend bool) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	locks := heldNames(held)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // not executed here
+		case *ast.SendStmt:
+			if !nonBlockingSend {
+				pass.Reportf(n.Pos(), "%s sends on a channel while holding %s — a blocking send under the admission lock can wedge every submitter; use a select with default or release the lock first",
+					funcName(fn), locks)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "submit" || sel.Sel.Name == "Submit" {
+					pass.Reportf(n.Pos(), "%s calls %s.%s while holding %s — pool submission under the admission lock can deadlock the drain path",
+						funcName(fn), exprString(sel.X), sel.Sel.Name, locks)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the deterministic-output rule (the invariant whose
+// violation shipped the map-ordered EngineByName bug): functions that
+// produce user-visible or wire-format output — server handlers, EXPLAIN
+// rendering, the Prometheus/text exporters, batch-result assembly —
+// are annotated //xpathlint:deterministic, and inside them a `range`
+// over a map is allowed only as an order-insensitive accumulation
+// (collecting keys for a later sort, counting, merging into another
+// map). Any map range whose body does more than accumulate — calls with
+// side effects, writes to output — is flagged.
+//
+// Independently of the annotation, a map range whose body directly
+// writes output (fmt.Fprint*/Print*, Write*/print methods, Encode) is
+// flagged in every function: iteration order would leak to a reader.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive map iteration in deterministic-output functions",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			deterministic := hasAnnotation(fn, "deterministic")
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if w := outputCallIn(pass, rng.Body); w != "" {
+					pass.Reportf(rng.Pos(), "%s ranges over a map and writes output (%s) inside the loop — map iteration order reaches the reader; sort the keys first",
+						funcName(fn), w)
+					return true
+				}
+				if deterministic && !orderInsensitive(rng.Body) {
+					pass.Reportf(rng.Pos(), "%s is annotated //xpathlint:deterministic but ranges over a map doing more than order-insensitive accumulation — sort the keys first",
+						funcName(fn))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// outputCallIn returns a description of the first output-writing call
+// inside the block, or "".
+func outputCallIn(pass *Pass, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if isWriterMethod(name) {
+			found = exprString(sel.X) + "." + name
+			return false
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkgPathIs(pkg.Imported().Path(), "fmt") {
+				if len(name) >= 5 && (name[:5] == "Fprin" || name[:5] == "Print") {
+					found = "fmt." + name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isWriterMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return true
+	}
+	return false
+}
+
+// orderInsensitive reports whether every statement in the loop body is
+// an accumulation whose end state does not depend on iteration order:
+// assignments (indexed writes, appends, += and friends), inc/dec,
+// declarations, and control flow around those. Any expression statement
+// (a call for its side effects) disqualifies the loop.
+func orderInsensitive(body *ast.BlockStmt) bool {
+	ok := true
+	var check func(stmts []ast.Stmt)
+	check = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if !ok {
+				return
+			}
+			switch s := s.(type) {
+			case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+				// accumulation
+			case *ast.BranchStmt:
+				// continue/break: flow control only
+			case *ast.IfStmt:
+				check([]ast.Stmt{s.Body})
+				if s.Else != nil {
+					check([]ast.Stmt{s.Else})
+				}
+			case *ast.BlockStmt:
+				check(s.List)
+			case *ast.ForStmt:
+				check(s.Body.List)
+			case *ast.RangeStmt:
+				check(s.Body.List)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, isCase := c.(*ast.CaseClause); isCase {
+						check(cc.Body)
+					}
+				}
+			default:
+				ok = false
+			}
+		}
+	}
+	check(body.List)
+	return ok
+}

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc flags syntactic allocators inside functions annotated
+// //xpathlint:noalloc: the axes kernels, the VM opcode loop and the
+// other warm-eval paths whose zero-allocation property the runtime
+// AllocsPerRun guards pin. The check is intra-procedural and syntactic —
+// calls into helper functions are trusted (the helpers carry their own
+// annotation or their own AllocsPerRun pin), which is exactly the
+// granularity at which the runtime guards measure.
+//
+// Flagged: make and new; composite literals that allocate (&T{}, slice
+// and map literals); growing append (append is allowed only onto a
+// buffer derived by reslicing — the in-place filter idiom kept
+// allocation-free by steady-state capacity); runtime string
+// concatenation and string↔[]byte/[]rune conversions; calls into fmt
+// and errors; function literals (closure environments allocate); go
+// statements; and interface boxing of non-pointer-shaped values at call
+// arguments, assignments and returns.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid syntactic allocators in //xpathlint:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasAnnotation(fn, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	resliced := reslicedVars(pass, fn)
+	var sig *types.Signature
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s is annotated //xpathlint:noalloc but contains a function literal (closure environments allocate)", funcName(fn))
+			return false // the closure body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s is annotated //xpathlint:noalloc but starts a goroutine", funcName(fn))
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "%s is annotated //xpathlint:noalloc but takes the address of a composite literal", funcName(fn))
+				}
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fn, n)
+		case *ast.CallExpr:
+			checkCallAlloc(pass, fn, n, resliced)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isRuntimeStringConcat(pass, n) {
+				pass.Reportf(n.Pos(), "%s is annotated //xpathlint:noalloc but concatenates strings at runtime", funcName(fn))
+			}
+		case *ast.AssignStmt:
+			checkAssignBoxing(pass, fn, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fn, sig, n)
+		}
+		return true
+	})
+}
+
+// reslicedVars collects the variables that are (somewhere in fn)
+// assigned a slice expression of another value — `kept := z[:0]`,
+// `row := list[a:b]`. Appending to such a buffer is the in-place filter
+// idiom: in steady state the capacity is already there, so the append
+// does not grow.
+func reslicedVars(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if _, isSlice := rhs.(*ast.SliceExpr); !isSlice {
+				continue
+			}
+			if id, isIdent := assign.Lhs[i].(*ast.Ident); isIdent {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkCompositeLit(pass *Pass, fn *ast.FuncDecl, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(lit.Pos(), "%s is annotated //xpathlint:noalloc but allocates a %s literal", funcName(fn), kindName(t))
+	}
+	// A plain struct literal by value does not allocate; &T{} does.
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}
+
+func checkCallAlloc(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, resliced map[types.Object]bool) {
+	// Conversions first: call.Fun may be any type expression ([]byte,
+	// pkg.T, a bare ident), and a conversion has no signature to box into.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		checkConversion(pass, fn, call)
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but calls make", funcName(fn))
+			case "new":
+				pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but calls new", funcName(fn))
+			case "append":
+				checkAppend(pass, fn, call, resliced)
+			case "panic":
+				// panic's operand boxes, but a panic is already off the
+				// measured path; the concat/boxing rules still see the
+				// argument expression itself.
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				path := pkg.Imported().Path()
+				if pkgPathIs(path, "fmt") || pkgPathIs(path, "errors") {
+					pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but calls %s.%s", funcName(fn), pkg.Imported().Name(), fun.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	checkArgBoxing(pass, fn, call)
+}
+
+func checkAppend(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, resliced map[types.Object]bool) {
+	if call.Ellipsis != token.NoPos {
+		pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but appends a whole slice (growing append)", funcName(fn))
+		return
+	}
+	if len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && resliced[obj] {
+				return // in-place filter idiom: buffer derived by reslicing
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but contains a growing append (append is allowed only onto a buffer derived by reslicing)", funcName(fn))
+}
+
+// checkConversion flags string↔[]byte and string↔[]rune conversions,
+// which copy.
+func checkConversion(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := pass.TypeOf(call.Fun)
+	from := pass.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	if (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from)) {
+		pass.Reportf(call.Pos(), "%s is annotated //xpathlint:noalloc but converts between string and byte/rune slice", funcName(fn))
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isRuntimeStringConcat reports whether the + has string type and is not
+// folded to a constant by the compiler.
+func isRuntimeStringConcat(pass *Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant-folded: no runtime work
+		return false
+	}
+	return isString(tv.Type)
+}
+
+// boxes reports whether assigning an expression of type from to a
+// location of type to converts a concrete value into an interface in a
+// way that can heap-allocate: the target is an interface, the source is
+// a concrete type, and the source is not pointer-shaped (pointers,
+// channels, maps and funcs ride in the interface word without copying
+// the pointee).
+func boxes(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func checkArgBoxing(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtin panic boxes its operand; every other builtin is exempt.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() != "panic" {
+				return
+			}
+			for _, arg := range call.Args {
+				if boxes(types.NewInterfaceType(nil, nil), pass.TypeOf(arg)) {
+					pass.Reportf(arg.Pos(), "%s is annotated //xpathlint:noalloc but boxes a %s into panic's interface argument", funcName(fn), pass.TypeOf(arg))
+				}
+			}
+			return
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pt, pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "%s is annotated //xpathlint:noalloc but boxes a %s into an interface argument", funcName(fn), pass.TypeOf(arg))
+		}
+	}
+}
+
+func checkAssignBoxing(pass *Pass, fn *ast.FuncDecl, assign *ast.AssignStmt) {
+	if assign.Tok == token.DEFINE || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		if boxes(pass.TypeOf(assign.Lhs[i]), pass.TypeOf(assign.Rhs[i])) {
+			pass.Reportf(assign.Rhs[i].Pos(), "%s is annotated //xpathlint:noalloc but boxes a %s into an interface", funcName(fn), pass.TypeOf(assign.Rhs[i]))
+		}
+	}
+}
+
+func checkReturnBoxing(pass *Pass, fn *ast.FuncDecl, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		if boxes(sig.Results().At(i).Type(), pass.TypeOf(res)) {
+			pass.Reportf(res.Pos(), "%s is annotated //xpathlint:noalloc but boxes a %s into an interface return value", funcName(fn), pass.TypeOf(res))
+		}
+	}
+}

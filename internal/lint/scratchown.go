@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchOwn enforces the kernel ownership rule of the README: a
+// *axes.Scratch parameter, and a destination-set parameter named dst of
+// type *xmltree.Set, are borrows for the duration of the call. The
+// callee may use them (method calls, passing them on to other
+// borrowers) but must not retain them: no storing into a struct field
+// or package-level variable, no sending on a channel, no returning.
+//
+// Receivers are exempt — a method on Scratch manages the scratch's own
+// memory by design (seenSet rebinding the mark set is the point).
+// Initializing a function-local evaluator struct with the borrowed
+// pointer is allowed: the evaluator dies with the call, which is the
+// same borrow. What the rule catches is the leak into state that
+// outlives the call.
+var ScratchOwn = &Analyzer{
+	Name: "scratchown",
+	Doc:  "forbid retaining borrowed *axes.Scratch / dst *xmltree.Set parameters",
+	Run:  runScratchOwn,
+}
+
+func runScratchOwn(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Params == nil {
+				continue
+			}
+			borrowed := borrowedParams(pass, fn)
+			if len(borrowed) == 0 {
+				continue
+			}
+			checkScratchOwn(pass, fn, borrowed)
+		}
+	}
+}
+
+// borrowedParams returns the parameter objects covered by the ownership
+// rule: every *axes.Scratch parameter, and *xmltree.Set parameters
+// named dst.
+func borrowedParams(pass *Pass, fn *ast.FuncDecl) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			switch {
+			case typeIs(t, "axes", "Scratch") && isPointer(t):
+				out[obj] = "*axes.Scratch"
+			case name.Name == "dst" && typeIs(t, "xmltree", "Set") && isPointer(t):
+				out[obj] = "dst *xmltree.Set"
+			}
+		}
+	}
+	return out
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}
+
+func checkScratchOwn(pass *Pass, fn *ast.FuncDecl, borrowed map[types.Object]string) {
+	isBorrowed := func(e ast.Expr) (string, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return "", false
+		}
+		kind, ok := borrowed[obj]
+		return kind, ok
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				kind, ok := isBorrowed(rhs)
+				if !ok {
+					continue
+				}
+				if i < len(n.Lhs) && escapesThroughLHS(pass, n.Lhs[i]) {
+					pass.Reportf(rhs.Pos(), "%s stores its borrowed %s parameter %s into %s (ownership stays with the caller)",
+						funcName(fn), kind, exprString(rhs), describeLHS(pass, n.Lhs[i]))
+				}
+			}
+		case *ast.SendStmt:
+			if kind, ok := isBorrowed(n.Value); ok {
+				pass.Reportf(n.Value.Pos(), "%s sends its borrowed %s parameter %s on a channel (ownership stays with the caller)",
+					funcName(fn), kind, exprString(n.Value))
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if kind, ok := isBorrowed(res); ok {
+					pass.Reportf(res.Pos(), "%s returns its borrowed %s parameter %s (ownership stays with the caller)",
+						funcName(fn), kind, exprString(res))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapesThroughLHS reports whether assigning to lhs stores the value
+// where it outlives the call: a field selector, an index expression, a
+// dereference, or a package-level variable. Plain locals are fine.
+func escapesThroughLHS(pass *Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(l)
+		if v, ok := obj.(*types.Var); ok {
+			// A package-level variable outlives every call.
+			return v.Parent() == pass.Pkg.Scope()
+		}
+	}
+	return false
+}
+
+func describeLHS(pass *Pass, lhs ast.Expr) string {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "an indexed element"
+	case *ast.StarExpr:
+		return "a dereferenced location"
+	default:
+		return "a package-level variable"
+	}
+}

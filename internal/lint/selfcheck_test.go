@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSuiteCleanOverRepository runs every analyzer over the whole module
+// — the same invocation CI gates on (go run ./cmd/xpathlint ./...) — and
+// requires zero findings. A hot-path regression (an allocator slipping
+// into a kernel, an unguarded tracer call) fails this test before it
+// fails a benchmark.
+func TestSuiteCleanOverRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repository lint in -short mode (shells out to go list -export)")
+	}
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — pattern ./... resolved incompletely", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("xpathlint finding: %s", d)
+	}
+}

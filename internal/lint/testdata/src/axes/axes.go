@@ -1,0 +1,9 @@
+// Package axes is a hermetic stand-in for repro/internal/axes:
+// scratchown matches the Scratch type by package-suffix + name.
+package axes
+
+import "xmltree"
+
+type Scratch struct{ seen *xmltree.Set }
+
+func (sc *Scratch) Release() { sc.seen = nil }

@@ -1,0 +1,60 @@
+// Package ignore exercises the //xpathlint:ignore escape hatch: a
+// well-formed directive (analyzer list + mandatory reason) suppresses
+// the named analyzers on its own line and the line below; malformed
+// directives are themselves diagnostics, and suppress nothing.
+package ignore
+
+import "trace"
+
+type machine struct{ tr trace.Tracer }
+
+func suppressedSameLine(m *machine) {
+	m.tr.Emit(trace.Event{}) //xpathlint:ignore tracerguard fixture proves same-line suppression
+}
+
+func suppressedLineAbove(m *machine) {
+	//xpathlint:ignore tracerguard fixture proves line-above suppression
+	m.tr.Emit(trace.Event{})
+}
+
+func notSuppressed(m *machine) {
+	m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+}
+
+// multiName: one directive, a comma list of analyzers, both suppressed.
+//
+//xpathlint:noalloc
+func multiName(m *machine) {
+	//xpathlint:ignore noalloc,tracerguard fixture proves the comma-list form
+	m.tr.Emit(trace.Event{Name: "x" + suffix()})
+}
+
+func suffix() string { return "y" }
+
+// wildcard: * suppresses every analyzer on the covered lines.
+func wildcard(m *machine) {
+	//xpathlint:ignore * fixture proves the wildcard form
+	m.tr.Emit(trace.Event{})
+}
+
+// missingReason: the reason is mandatory, and the broken directive
+// suppresses nothing — the underlying diagnostic still fires.
+func missingReason(m *machine) {
+	// want+ `ignore directive for "tracerguard" has no reason`
+	//xpathlint:ignore tracerguard
+	m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+}
+
+// unknownName: naming an analyzer that does not exist is a diagnostic.
+func unknownName(m *machine) {
+	// want+ `ignore directive names unknown analyzer "nosuch"`
+	//xpathlint:ignore nosuch there is no such analyzer
+	m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+}
+
+// bareDirective: an ignore naming no analyzer at all is a diagnostic.
+func bareDirective(m *machine) {
+	// want+ `ignore directive names no analyzer`
+	//xpathlint:ignore
+	m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+}

@@ -1,0 +1,77 @@
+// Package lockheld exercises the admission-layer rule: no blocking
+// channel send and no pool submit while a sync mutex is held; the
+// select-with-default try-send and handing off to a goroutine are the
+// sanctioned shapes.
+package lockheld
+
+import "sync"
+
+type pool struct{ ch chan func() }
+
+func (p *pool) Submit(f func()) {}
+
+type admission struct {
+	mu    sync.RWMutex
+	queue chan int
+	p     *pool
+}
+
+func blockingSend(a *admission, n int) {
+	a.mu.Lock()
+	a.queue <- n // want `blockingSend sends on a channel while holding a\.mu`
+	a.mu.Unlock()
+}
+
+func sendAfterUnlock(a *admission, n int) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.queue <- n
+}
+
+func deferredHold(a *admission, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queue <- n // want `sends on a channel while holding a\.mu`
+}
+
+func condSend(a *admission, n int) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if n > 0 {
+		a.queue <- n // want `sends on a channel while holding a\.mu`
+	}
+}
+
+// trySend is the sanctioned non-blocking shape: a select with default
+// sheds in O(1) instead of wedging submitters.
+func trySend(a *admission, n int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	select {
+	case a.queue <- n:
+		return true
+	default:
+		return false
+	}
+}
+
+func submitHeld(a *admission, f func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.p.Submit(f) // want `submitHeld calls a\.p\.Submit while holding a\.mu`
+}
+
+func submitAfterUnlock(a *admission, f func()) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.p.Submit(f)
+}
+
+// goroutineFree: a new goroutine does not hold this goroutine's locks.
+func goroutineFree(a *admission, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		a.queue <- n
+	}()
+}

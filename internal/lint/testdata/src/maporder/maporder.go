@@ -1,0 +1,65 @@
+// Package maporder exercises the deterministic-output rule: map ranges
+// that write output are flagged everywhere; in //xpathlint:deterministic
+// functions only order-insensitive accumulation is allowed.
+package maporder
+
+import "fmt"
+
+type sink struct{}
+
+func (sink) WriteString(s string) (int, error) { return 0, nil }
+
+func writesInLoop(w sink, m map[string]int) {
+	for k := range m { // want `writesInLoop ranges over a map and writes output \(w\.WriteString\)`
+		w.WriteString(k)
+	}
+}
+
+func fprintInLoop(w any, m map[string]int) {
+	for k, v := range m { // want `ranges over a map and writes output \(fmt\.Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// collectThenSort is the allowed idiom: accumulate, sort, then write.
+//
+//xpathlint:deterministic
+func collectThenSort(w sink, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		w.WriteString(k)
+	}
+}
+
+// counting folds into a scalar: order-insensitive.
+//
+//xpathlint:deterministic
+func counting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+//xpathlint:deterministic
+func sideEffects(m map[string]int) {
+	for k := range m { // want `sideEffects is annotated //xpathlint:deterministic but ranges over a map doing more than order-insensitive accumulation`
+		observe(k)
+	}
+}
+
+// unannotated and no output in the loop: side effects are its business.
+func unannotated(m map[string]int) {
+	for k := range m {
+		observe(k)
+	}
+}
+
+func observe(s string) {}
+
+func sortStrings(s []string) {}

@@ -1,0 +1,97 @@
+// Package noalloc exercises the noalloc analyzer: every syntactic
+// allocator inside an annotated function is flagged, unannotated
+// functions are never flagged, and the reslice-append (in-place filter)
+// idiom stays allowed.
+package noalloc
+
+import "fmt"
+
+type item struct {
+	name string
+	n    int
+}
+
+var sink any
+
+//xpathlint:noalloc
+func allocators(xs []int, s string) {
+	m := make([]int, 8) // want `calls make`
+	_ = m
+	p := new(item) // want `calls new`
+	_ = p
+	q := &item{name: "x"} // want `takes the address of a composite literal`
+	_ = q
+	lit := []int{1, 2, 3} // want `allocates a slice literal`
+	_ = lit
+	table := map[string]int{} // want `allocates a map literal`
+	_ = table
+	xs = append(xs, 1)             // want `growing append`
+	_ = fmt.Sprintf("%d", len(xs)) // want `calls fmt\.Sprintf`
+	_ = s + s                      // want `concatenates strings at runtime`
+	b := []byte(s)                 // want `converts between string and byte/rune slice`
+	_ = b
+}
+
+//xpathlint:noalloc
+func control(ch chan int) {
+	f := func() {} // want `contains a function literal`
+	_ = f
+	go sendOne(ch) // want `starts a goroutine`
+}
+
+func sendOne(ch chan int) {}
+
+//xpathlint:noalloc
+func boxing(n int, p *item) {
+	sink = n   // want `boxes a int into an interface`
+	sink = p   // pointer-shaped: rides in the interface word, no allocation
+	takeAny(n) // want `boxes a int into an interface argument`
+	takeAny(p)
+}
+
+func takeAny(v any) {}
+
+//xpathlint:noalloc
+func boxReturn(n int) any {
+	return n // want `boxes a int into an interface return value`
+}
+
+//xpathlint:noalloc
+func coldPanic(n int) {
+	if n < 0 {
+		panic(n) // want `boxes a int into panic's interface argument`
+	}
+}
+
+//xpathlint:noalloc
+func appendAll(buf, src []int) []int {
+	buf = append(buf, src...) // want `appends a whole slice`
+	return buf
+}
+
+// filterInPlace is the steady-state-capacity idiom the kernels use:
+// appending onto a buffer derived by reslicing does not grow.
+//
+//xpathlint:noalloc
+func filterInPlace(xs []int) []int {
+	kept := xs[:0]
+	for _, x := range xs {
+		if x > 0 {
+			kept = append(kept, x)
+		}
+	}
+	return kept
+}
+
+// constConcat folds at compile time: no runtime work, not flagged.
+//
+//xpathlint:noalloc
+func constConcat() string {
+	const pre = "xpath"
+	return pre + "lint"
+}
+
+// unannotated functions may allocate freely.
+func unannotated(s string) []string {
+	return append(make([]string, 0, 2), s, s+s)
+}

@@ -1,0 +1,63 @@
+// Package scratchown exercises the kernel ownership rule: borrowed
+// *axes.Scratch and dst *xmltree.Set parameters must not outlive the
+// call (no struct fields, globals, channels, returns), while using them
+// locally — including wiring a call-local evaluator — stays allowed.
+package scratchown
+
+import (
+	"axes"
+	"xmltree"
+)
+
+type evaluator struct {
+	sc  *axes.Scratch
+	dst *xmltree.Set
+}
+
+var global *axes.Scratch
+
+var scratchChan chan *axes.Scratch
+
+func storeField(e *evaluator, sc *axes.Scratch) {
+	e.sc = sc // want `stores its borrowed \*axes\.Scratch parameter sc into a struct field`
+}
+
+func storeGlobal(sc *axes.Scratch) {
+	global = sc // want `stores its borrowed \*axes\.Scratch parameter sc into a package-level variable`
+}
+
+func sendIt(sc *axes.Scratch) {
+	scratchChan <- sc // want `sends its borrowed \*axes\.Scratch parameter sc on a channel`
+}
+
+func returnIt(sc *axes.Scratch) *axes.Scratch {
+	return sc // want `returns its borrowed \*axes\.Scratch parameter sc`
+}
+
+func storeDst(e *evaluator, dst *xmltree.Set) {
+	e.dst = dst // want `stores its borrowed dst \*xmltree\.Set parameter dst into a struct field`
+}
+
+// localUse: a call-local evaluator dies with the call — same borrow.
+func localUse(sc *axes.Scratch, dst *xmltree.Set) {
+	local := evaluator{sc: sc, dst: dst}
+	use(&local)
+	tmp := sc
+	tmp.Release()
+	dst.Clear()
+}
+
+func use(e *evaluator) {}
+
+// otherSet is not named dst: the naming convention is the contract.
+func otherSet(e *evaluator, out *xmltree.Set) {
+	e.dst = out
+}
+
+// methods on Scratch manage their own memory by design: receivers are
+// exempt from the borrow rule.
+type holder struct{ sc *axes.Scratch }
+
+func (h *holder) adopt(sc *axes.Scratch) {
+	h.sc = sc // want `stores its borrowed \*axes\.Scratch parameter sc into a struct field`
+}

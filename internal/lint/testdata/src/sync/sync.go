@@ -1,0 +1,16 @@
+// Package sync is a hermetic stand-in for the standard sync package:
+// lockheld matches Mutex/RWMutex by package-suffix + type name, so these
+// fakes exercise it without touching GOROOT.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

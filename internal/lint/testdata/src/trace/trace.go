@@ -1,0 +1,14 @@
+// Package trace is a hermetic stand-in for repro/internal/trace:
+// tracerguard matches the Tracer interface by package-suffix + name.
+package trace
+
+type Event struct {
+	Name string
+	Dur  int64
+}
+
+type Tracer interface {
+	Emit(Event)
+	Begin(name string) int
+	End(id int)
+}

@@ -1,0 +1,76 @@
+// Package tracerguard exercises the nil-tracer contract: every method
+// call on a trace.Tracer-typed expression needs a dominating nil check
+// of that same expression.
+package tracerguard
+
+import "trace"
+
+type machine struct {
+	tr trace.Tracer
+}
+
+func unguarded(m *machine) {
+	m.tr.Emit(trace.Event{}) // want `call to m\.tr\.Emit is not dominated by a nil check of m\.tr`
+}
+
+func guardedIf(m *machine) {
+	if m.tr != nil {
+		m.tr.Emit(trace.Event{})
+	}
+}
+
+func guardedAnd(m *machine, deep bool) {
+	if deep && m.tr != nil {
+		m.tr.Emit(trace.Event{})
+	}
+}
+
+func guardedEarlyReturn(m *machine) {
+	if m.tr == nil {
+		return
+	}
+	m.tr.Emit(trace.Event{})
+}
+
+func guardedElseBranch(m *machine) {
+	if m.tr == nil {
+		m.tr = nil
+	} else {
+		m.tr.Emit(trace.Event{})
+	}
+}
+
+// wrongGuard checks a different receiver: does not dominate.
+func wrongGuard(m, other *machine) {
+	if other.tr != nil {
+		m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+	}
+}
+
+// orGuard: an || chain guarantees nothing when true.
+func orGuard(m *machine, loud bool) {
+	if loud || m.tr != nil {
+		m.tr.Emit(trace.Event{}) // want `not dominated by a nil check of m\.tr`
+	}
+}
+
+// localCopy: the guard must cover the same expression that is called on.
+func localCopy(m *machine) {
+	tr := m.tr
+	if tr != nil {
+		tr.Begin("step")
+	}
+	tr.End(0) // want `call to tr\.End is not dominated by a nil check of tr`
+}
+
+// concrete recorder types are exempt: the contract is about the
+// interface-typed field on the hot path.
+type recorder struct{}
+
+func (recorder) Emit(trace.Event) {}
+func (recorder) Begin(string) int { return 0 }
+func (recorder) End(int)          {}
+
+func concreteOK(r recorder) {
+	r.Emit(trace.Event{})
+}

@@ -1,0 +1,10 @@
+// Package xmltree is a hermetic stand-in for repro/internal/xmltree:
+// scratchown matches the Set type by package-suffix + name.
+package xmltree
+
+type Node struct{ pre int }
+
+type Set struct{ words []uint64 }
+
+func (s *Set) Add(n *Node) {}
+func (s *Set) Clear()      {}

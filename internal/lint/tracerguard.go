@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TracerGuard enforces the "nil tracer is strictly zero-cost" contract:
+// every method call on an expression whose static type is the
+// trace.Tracer interface must be dominated by a nil check of that same
+// expression — either an enclosing `if x != nil { ... }` (possibly in
+// an && chain) or an earlier `if x == nil { return }` in an enclosing
+// block. Calls on concrete recorder types are exempt: the contract is
+// about the interface-typed field an engine reads on its hot path.
+//
+// Dominance is computed on the AST, which matches how the guards are
+// written in this codebase (and keeps the check dependency-free); a
+// guard the analyzer cannot see can be acknowledged with
+// //xpathlint:ignore tracerguard <reason>.
+var TracerGuard = &Analyzer{
+	Name: "tracerguard",
+	Doc:  "require a dominating nil check before any trace.Tracer method call",
+	Run:  runTracerGuard,
+}
+
+func runTracerGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkTracerGuard(pass, fn)
+		}
+	}
+}
+
+func checkTracerGuard(pass *Pass, fn *ast.FuncDecl) {
+	// Walk with an explicit parent stack so dominance can look upward.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := tracerReceiver(pass, call); recv != nil {
+				if !nilGuarded(pass, stack, n, recv) {
+					pass.Reportf(call.Pos(), "call to %s.%s is not dominated by a nil check of %s (a nil Tracer must stay zero-cost)",
+						exprString(recv), calledName(call), exprString(recv))
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// tracerReceiver returns the receiver expression when call is a method
+// call on a value of static type trace.Tracer (the interface), else nil.
+func tracerReceiver(pass *Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil || !typeIs(t, "trace", "Tracer") {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return nil
+	}
+	return sel.X
+}
+
+func calledName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return exprString(call.Fun)
+}
+
+// nilGuarded reports whether node (a descendant of the nodes on stack,
+// innermost last) is dominated by a nil check of recv.
+func nilGuarded(pass *Pass, stack []ast.Node, node ast.Node, recv ast.Expr) bool {
+	want := exprString(recv)
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		parent := stack[i]
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			if p.Body == child && condChecksNotNil(p.Cond, want) {
+				return true
+			}
+			if p.Else == child && condChecksIsNil(p.Cond, want) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if recv == nil { return }` (or any terminating
+			// body) in this block dominates everything after it.
+			for _, stmt := range p.List {
+				if containsNode(stmt, child) {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || ifs.Else != nil {
+					continue
+				}
+				if condChecksIsNil(ifs.Cond, want) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+		child = parent
+	}
+	return false
+}
+
+// condChecksNotNil reports whether cond guarantees want != nil when it
+// evaluates true: a `want != nil` comparison, possibly inside an &&
+// chain. || branches guarantee nothing.
+func condChecksNotNil(cond ast.Expr, want string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			return condChecksNotNil(c.X, want) || condChecksNotNil(c.Y, want)
+		case token.NEQ:
+			return comparesToNil(c, want)
+		}
+	}
+	return false
+}
+
+// condChecksIsNil reports whether cond is exactly `want == nil` (the
+// early-return guard shape; an || chain would weaken it).
+func condChecksIsNil(cond ast.Expr, want string) bool {
+	c, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	return ok && c.Op == token.EQL && comparesToNil(c, want)
+}
+
+func comparesToNil(c *ast.BinaryExpr, want string) bool {
+	if isNilIdent(c.Y) && exprString(ast.Unparen(c.X)) == want {
+		return true
+	}
+	return isNilIdent(c.X) && exprString(ast.Unparen(c.Y)) == want
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block always transfers control away
+// (return, panic, continue, break, goto as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// containsNode reports whether root's subtree contains target.
+func containsNode(root, target ast.Node) bool {
+	if root == target {
+		return true
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -356,6 +356,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 
 // sortedKeys returns the map's keys in sorted order, for deterministic
 // output in every export format.
+//
+//xpathlint:deterministic
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -368,6 +370,8 @@ func sortedKeys[V any](m map[string]V) []string {
 // WriteJSON writes the registry as one JSON object mapping instrument names
 // to values (histograms to their snapshot objects) — the flat shape expvar
 // handlers serve, so the registry can stand in for /debug/vars.
+//
+//xpathlint:deterministic
 func (r *Registry) WriteJSON(w io.Writer) error {
 	s := r.Snapshot()
 	flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
@@ -429,6 +433,8 @@ func promName(name string) string {
 // format (counters, gauges, and histograms with cumulative power-of-two
 // le buckets), so the future HTTP front-end can serve /stats by calling
 // this on the default registry.
+//
+//xpathlint:deterministic
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	for _, name := range sortedKeys(s.Counters) {
@@ -469,6 +475,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // WriteText writes a sorted, human-readable dump of the registry — the
 // format the CLI's -metrics flag prints.
+//
+//xpathlint:deterministic
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	for _, name := range sortedKeys(s.Counters) {

@@ -232,6 +232,8 @@ func (p *Program) blockEnd(b int) int {
 // Disasm renders the program as a human-readable instruction listing — the
 // compiled-engine counterpart of Query.Explain, shown by the CLI's -explain
 // flag. The exact format is not part of the API contract.
+//
+//xpathlint:deterministic
 func (p *Program) Disasm() string {
 	return p.DisasmAnnotated(nil)
 }
@@ -242,6 +244,8 @@ func (p *Program) Disasm() string {
 // string it returns is printed after the mnemonic. A nil annot (or an annot
 // returning "") yields the plain Disasm listing. EXPLAIN ANALYZE uses it to
 // splice observed call counts, cardinalities and timings into the listing.
+//
+//xpathlint:deterministic
 func (p *Program) DisasmAnnotated(annot func(block, pc int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %d instruction(s), %d block(s), %d register(s), %d const(s)\n",

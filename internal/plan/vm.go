@@ -143,6 +143,8 @@ func (m *machine) putBuf(b []*xmltree.Node) { m.bufs = append(m.bufs, b[:0]) }
 
 // runBlock executes one block in the context 〈cn, cp, cs〉 (cp/cs 0 = the
 // wildcard "∗") and returns its result value.
+//
+//xpathlint:noalloc
 func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Value, error) {
 	m.st.ContextsEvaluated++
 	code := m.prog.Code
@@ -275,17 +277,21 @@ func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Valu
 			}
 			return R[in.A], nil
 		default:
+			//xpathlint:ignore noalloc cold error path, unreachable for compiled programs
 			return values.Value{}, fmt.Errorf("plan: vm: unknown opcode %v", in.Op)
 		}
 		if tr != nil {
 			m.emitOp(block, opPC, in, inCard, t0)
 		}
 	}
+	//xpathlint:ignore noalloc cold error path, every compiled block ends in OpReturn
 	return values.Value{}, fmt.Errorf("plan: vm: block %d fell off the end", block)
 }
 
 // setCard returns the cardinality of a node-set value, CardUnknown for
 // scalars and empty registers.
+//
+//xpathlint:noalloc
 func setCard(v values.Value) int {
 	if v.T == values.KindNodeSet && v.Set != nil {
 		return v.Set.Len()
@@ -296,6 +302,8 @@ func setCard(v values.Value) int {
 // opInputCard returns the cardinality of the instruction's node-set input
 // register, CardUnknown when the opcode has none (constants, context
 // loads). Only called when tracing is on.
+//
+//xpathlint:noalloc
 func (m *machine) opInputCard(in *Instr) int {
 	switch in.Op {
 	case OpConst, OpCtxNode, OpRootSet, OpEmptySet, OpPosition, OpLast,
@@ -315,7 +323,12 @@ func (m *machine) opInputCard(in *Instr) int {
 // emitOp reports one executed instruction as a KindOpcode span; the Out
 // cardinality reads the destination register (for OpReturn, the returned
 // register) after execution.
+//
+//xpathlint:noalloc
 func (m *machine) emitOp(block, pc int, in *Instr, inCard int, t0 int64) {
+	if m.tr == nil {
+		return
+	}
 	dst := in.Dst
 	if in.Op == OpReturn {
 		dst = in.A
@@ -330,6 +343,8 @@ func (m *machine) emitOp(block, pc int, in *Instr, inCard int, t0 int64) {
 // step executes a fused predicate-free location step. Singleton sources
 // (the common case inside predicate blocks) walk the per-node neighborhood
 // instead of paying the O(|D|) set-at-a-time scan.
+//
+//xpathlint:noalloc
 func (m *machine) step(in *Instr, src *xmltree.Set) *xmltree.Set {
 	axis, test := axes.Axis(in.A), m.prog.Tests[in.B]
 	if src.Len() == 1 {
@@ -391,6 +406,8 @@ func (m *machine) filterSet(in *Instr, src *xmltree.Set) (*xmltree.Set, error) {
 // applyChain runs a predicate chain over an ordered candidate list,
 // left-to-right with positions recomputed per predicate (the step/filter
 // predicate semantics of Definition 2).
+//
+//xpathlint:noalloc
 func (m *machine) applyChain(preds []PredRef, z []*xmltree.Node) ([]*xmltree.Node, error) {
 	for _, pr := range preds {
 		if len(z) == 0 {

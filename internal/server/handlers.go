@@ -156,6 +156,8 @@ func resultKind(res *xpath.Result) string {
 // tracer opt-in. The compile (cache hot path) runs on the handler
 // goroutine — a 400 must not cost an admission slot — and the evaluation
 // runs through the bounded admission queue.
+//
+//xpathlint:deterministic
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if !s.decodeBody(w, r, &req) {
@@ -292,6 +294,8 @@ type BatchResponse struct {
 // handleBatch serves POST /batch: one query fanned out across an ID list
 // through Store.Query. The whole batch occupies one admission slot; its
 // internal fan-out runs on the store's own bounded pool.
+//
+//xpathlint:deterministic
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
@@ -373,6 +377,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // stored document — EXPLAIN ANALYZE, the disassembly annotated with the
 // observed per-instruction behavior of a real traced run. Output is plain
 // text for humans, exactly what the CLI's -explain/-analyze flags print.
+//
+//xpathlint:deterministic
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	src := r.URL.Query().Get("q")
 	if src == "" {
@@ -447,6 +453,8 @@ type StatsResponse struct {
 // server's own state, as JSON by default or in the Prometheus text
 // exposition format when ?format=prometheus (or an Accept header asking
 // for text/plain) selects it.
+//
+//xpathlint:deterministic
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	format := r.URL.Query().Get("format")
 	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain") {

@@ -84,6 +84,7 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+//xpathlint:deterministic
 func (rt *router) dispatch(w http.ResponseWriter, r *http.Request) {
 	byMethod, ok := rt.routes[r.URL.Path]
 	if !ok {

@@ -24,6 +24,8 @@ import (
 const corpusMagic = "XPC1"
 
 // WriteSnapshot serializes the whole corpus in sorted-ID order.
+//
+//xpathlint:deterministic
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	items := s.snapshot()
 	bw := bufio.NewWriter(w)

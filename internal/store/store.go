@@ -112,6 +112,8 @@ func (s *Store) Len() int {
 }
 
 // IDs returns the IDs of all stored documents, sorted.
+//
+//xpathlint:deterministic
 func (s *Store) IDs() []string {
 	out := make([]string, 0, s.Len())
 	for i := range s.shards {
@@ -138,6 +140,7 @@ type entry struct {
 	doc *xmltree.Document
 }
 
+//xpathlint:deterministic
 func (s *Store) snapshot() []entry {
 	out := make([]entry, 0, s.Len())
 	for i := range s.shards {

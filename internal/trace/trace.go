@@ -194,6 +194,8 @@ func (r *Recorder) TotalNs(k Kind) int64 {
 // level, per-step / per-sat / per-opcode spans indented beneath. Rows are
 // ordered by kind, then block/pc, then first-emission order, so the output
 // is deterministic for a deterministic evaluation.
+//
+//xpathlint:deterministic
 func Render(rows []Row) string {
 	var b strings.Builder
 	ordered := make([]Row, len(rows))

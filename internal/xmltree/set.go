@@ -36,12 +36,18 @@ func (s *Set) Document() *Document { return s.doc }
 // with pre index w*64+i). The slice is the live backing store: callers must
 // treat it as read-only, and writes to the set invalidate derived counts.
 // It exists for the word-at-a-time axis kernels of internal/axes.
+//
+//xpathlint:noalloc
 func (s *Set) Words() []uint64 { return s.words }
 
 // Add inserts the node into the set.
+//
+//xpathlint:noalloc
 func (s *Set) Add(node *Node) { s.AddPre(node.pre) }
 
 // AddPre inserts the node with the given document-order index.
+//
+//xpathlint:noalloc
 func (s *Set) AddPre(pre int) {
 	w, b := pre/64, uint(pre%64)
 	if s.words[w]&(1<<b) == 0 {
@@ -51,6 +57,8 @@ func (s *Set) AddPre(pre int) {
 }
 
 // AddRange inserts every node with pre index in [lo, hi), word-parallel.
+//
+//xpathlint:noalloc
 func (s *Set) AddRange(lo, hi int) {
 	if lo >= hi {
 		return
@@ -70,6 +78,8 @@ func (s *Set) AddRange(lo, hi int) {
 }
 
 // orWord ORs a mask into one word, keeping the cardinality exact.
+//
+//xpathlint:noalloc
 func (s *Set) orWord(w int, mask uint64) {
 	old := s.words[w]
 	s.words[w] = old | mask
@@ -80,6 +90,8 @@ func (s *Set) orWord(w int, mask uint64) {
 func (s *Set) Remove(node *Node) { s.RemovePre(node.pre) }
 
 // RemovePre deletes the node with the given document-order index.
+//
+//xpathlint:noalloc
 func (s *Set) RemovePre(pre int) {
 	w, b := pre/64, uint(pre%64)
 	if s.words[w]&(1<<b) != 0 {
@@ -93,6 +105,8 @@ func (s *Set) Has(node *Node) bool { return s.HasPre(node.pre) }
 
 // HasPre reports whether the node with the given document-order index is in
 // the set.
+//
+//xpathlint:noalloc
 func (s *Set) HasPre(pre int) bool {
 	return s.words[pre/64]&(1<<uint(pre%64)) != 0
 }
@@ -112,12 +126,16 @@ func (s *Set) Clone() *Set {
 
 // CopyFrom makes s an exact copy of t (both over the same document),
 // reusing s's backing words.
+//
+//xpathlint:noalloc
 func (s *Set) CopyFrom(t *Set) {
 	copy(s.words, t.words)
 	s.n = t.n
 }
 
 // Clear removes all nodes from the set.
+//
+//xpathlint:noalloc
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
@@ -126,6 +144,8 @@ func (s *Set) Clear() {
 }
 
 // UnionWith adds every node of t to s (s ∪= t).
+//
+//xpathlint:noalloc
 func (s *Set) UnionWith(t *Set) {
 	n := 0
 	for i, w := range t.words {
@@ -137,6 +157,8 @@ func (s *Set) UnionWith(t *Set) {
 }
 
 // IntersectWith removes from s every node not in t (s ∩= t).
+//
+//xpathlint:noalloc
 func (s *Set) IntersectWith(t *Set) {
 	n := 0
 	for i := range s.words {
@@ -148,6 +170,8 @@ func (s *Set) IntersectWith(t *Set) {
 }
 
 // SubtractWith removes from s every node in t (s −= t).
+//
+//xpathlint:noalloc
 func (s *Set) SubtractWith(t *Set) {
 	n := 0
 	for i := range s.words {
