@@ -1,0 +1,102 @@
+//go:build faultinject
+
+package xpath
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// These chaos tests run under `go test -tags faultinject`: they arm
+// failpoints inside the serving stack and prove the recovery paths —
+// panic isolation into EvalPanicError, sibling isolation in batch
+// fan-out, whole-call failure in parallel evaluation — actually run.
+
+// TestChaosEvaluatePanic: a panic inside the evaluation guard surfaces as
+// a structured EvalPanicError with the panic value and a captured stack,
+// counts in engine.panics, and the next evaluation succeeds.
+func TestChaosEvaluatePanic(t *testing.T) {
+	defer faultinject.Reset()
+	doc := WrapTree(workload.Figure2())
+	q := MustCompile(`/child::a/child::b`)
+
+	before := metrics.Default().Counter("engine.panics").Value()
+	faultinject.Arm("xpath.evaluate", func() { panic("chaos: evaluate") })
+	_, err := q.EvaluateWith(doc, Options{})
+	var pe *EvalPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want EvalPanicError", err)
+	}
+	if pe.Value != "chaos: evaluate" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+	if got := metrics.Default().Counter("engine.panics").Value(); got <= before {
+		t.Fatalf("engine.panics = %d, want > %d", got, before)
+	}
+
+	faultinject.Disarm("xpath.evaluate")
+	if _, err := q.EvaluateWith(doc, Options{}); err != nil {
+		t.Fatalf("evaluation after disarm: %v", err)
+	}
+}
+
+// TestChaosBatchWorkerPanic: a panic in a batch worker is contained to the
+// claimed document — the batch completes with per-document errors and the
+// process keeps going.
+func TestChaosBatchWorkerPanic(t *testing.T) {
+	defer faultinject.Reset()
+	st := NewStore()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := st.Add(id, WrapTree(workload.Scaled(10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Arm("store.batch.worker", func() { panic("chaos: batch") })
+	res, err := st.Query(`/child::a`, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("batch call itself failed: %v", err)
+	}
+	if res.Errs() != 3 {
+		t.Fatalf("Errs = %d, want 3 (every doc hit the failpoint)", res.Errs())
+	}
+	for _, d := range res.Docs {
+		var pe *EvalPanicError
+		if !errors.As(d.Err, &pe) {
+			t.Fatalf("doc %s: err = %v, want EvalPanicError", d.ID, d.Err)
+		}
+	}
+
+	faultinject.Disarm("store.batch.worker")
+	res, err = st.Query(`/child::a`, BatchOptions{Workers: 2})
+	if err != nil || res.Errs() != 0 {
+		t.Fatalf("batch after disarm: err = %v, Errs = %d", err, res.Errs())
+	}
+}
+
+// TestChaosParallelPanic: a panic in an EvaluateParallel worker fails the
+// call with EvalPanicError instead of crashing the process.
+func TestChaosParallelPanic(t *testing.T) {
+	defer faultinject.Reset()
+	doc := WrapTree(workload.Scaled(200))
+	q := MustCompile(`/descendant::b/child::c`)
+
+	faultinject.Arm("store.parallel", func() { panic("chaos: parallel") })
+	_, err := q.EvaluateParallel(doc, ParallelOptions{Workers: 4})
+	var pe *EvalPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want EvalPanicError", err)
+	}
+
+	faultinject.Disarm("store.parallel")
+	if _, err := q.EvaluateParallel(doc, ParallelOptions{Workers: 4}); err != nil {
+		t.Fatalf("parallel after disarm: %v", err)
+	}
+}

@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E18) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E19) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -12,7 +12,9 @@
 // before/after (with -e16-json emission), E17 observability-layer tracing
 // off/on (with -e17-json emission, metrics registry snapshot embedded),
 // E18 query-service synthetic load against the HTTP front-end (with
-// -e18-json emission: status splits, cache-hit rate, queue histograms).
+// -e18-json emission: status splits, cache-hit rate, queue histograms),
+// E19 evaluation-budget pricing — nil vs live Budget overhead, fuel-trip
+// classification, concurrent-cancel latency (with -e19-json emission).
 //
 // -metrics-json additionally writes the process metrics registry —
 // populated by whatever experiments ran — to a standalone JSON file.
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e18) or 'all'")
+		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e19) or 'all'")
 		sizes   = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
 		small   = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
 		reps    = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
@@ -39,6 +41,7 @@ func main() {
 		e16json = flag.String("e16-json", "BENCH_E16.json", "output path for the E16 before/after rows (empty disables)")
 		e17json = flag.String("e17-json", "BENCH_E17.json", "output path for the E17 tracing off/on rows (empty disables)")
 		e18json = flag.String("e18-json", "BENCH_E18.json", "output path for the E18 query-service load rows (empty disables)")
+		e19json = flag.String("e19-json", "BENCH_E19.json", "output path for the E19 budget-pricing rows (empty disables)")
 		mjson   = flag.String("metrics-json", "", "write the process metrics registry as JSON to this file after the run")
 	)
 	flag.Parse()
@@ -56,7 +59,7 @@ func main() {
 
 	w := os.Stdout
 	if *exps == "all" {
-		bench.RunAll(w, cfg, *e16json, *e17json, *e18json)
+		bench.RunAll(w, cfg, *e16json, *e17json, *e18json, *e19json)
 		writeMetrics(w, *mjson)
 		return
 	}
@@ -122,8 +125,18 @@ func main() {
 				}
 				fmt.Fprintf(w, "wrote %s\n", *e18json)
 			}
+		case "e19":
+			t, rows := bench.E19(cfg)
+			t.Print(w)
+			if *e19json != "" {
+				if err := bench.WriteE19JSON(*e19json, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "xpathbench: write E19 JSON:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *e19json)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e18)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e19)\n", name)
 			os.Exit(2)
 		}
 	}

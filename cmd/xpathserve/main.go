@@ -35,18 +35,20 @@ func main() {
 		storePath = flag.String("store", "", "corpus: directory of *.xml files or a snapshot file (required)")
 		workers   = flag.Int("workers", 1, "admission worker pool size")
 		queue     = flag.Int("queue", 0, "admission queue depth (0: 2×workers); a full queue answers 429")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (queue wait + evaluation)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (queue wait + evaluation); expiry cancels the evaluation")
+		maxSteps  = flag.Int64("maxsteps", 0, "per-evaluation step fuel (0: unlimited); exhaustion answers 422")
+		maxCard   = flag.Int("maxcard", 0, "per-evaluation result-cardinality cap (0: unlimited); exceeding answers 422")
 		engName   = flag.String("engine", "auto", "default evaluation engine for requests that name none")
 		drainWait = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	)
 	flag.Parse()
-	if err := run(*addr, *storePath, *workers, *queue, *timeout, *engName, *drainWait); err != nil {
+	if err := run(*addr, *storePath, *workers, *queue, *timeout, *maxSteps, *maxCard, *engName, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "xpathserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storePath string, workers, queue int, timeout time.Duration, engName string, drainWait time.Duration) error {
+func run(addr, storePath string, workers, queue int, timeout time.Duration, maxSteps int64, maxCard int, engName string, drainWait time.Duration) error {
 	if storePath == "" {
 		return errors.New("missing -store (directory of *.xml files or a snapshot file)")
 	}
@@ -63,6 +65,8 @@ func run(addr, storePath string, workers, queue int, timeout time.Duration, engN
 		Workers:       workers,
 		QueueDepth:    queue,
 		Timeout:       timeout,
+		MaxSteps:      maxSteps,
+		MaxResultCard: maxCard,
 		DefaultEngine: eng,
 	})
 	hs := &http.Server{Addr: addr, Handler: srv}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/internal/budget"
 	"repro/internal/xmltree"
 )
 
@@ -214,5 +216,18 @@ func TestKernelAllocs(t *testing.T) {
 	}
 	if hw := (*Scratch)(nil).HighWater(); hw != 0 {
 		t.Errorf("nil Scratch HighWater = %d, want 0", hw)
+	}
+
+	// The engines interleave budget checks with kernel calls on the hot
+	// path; a live Budget (fuel and deadline armed) must keep the combined
+	// loop allocation-free, exactly like the Tracer nil-check contract.
+	bud := budget.New(budget.Limits{Steps: 1 << 40, Deadline: time.Hour})
+	if n := testing.AllocsPerRun(20, func() {
+		if err := bud.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		ApplyInto(dst, Descendant, x, sc)
+	}); n != 0 {
+		t.Errorf("ApplyInto with live Budget: %v allocs/op, want 0", n)
 	}
 }

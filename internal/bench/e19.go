@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/corexpath"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/syntax"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// E19 prices the robustness layer: what a live evaluation Budget costs on
+// the warm path, and how fast cooperative cancellation actually lands.
+// Three measurements per engine:
+//
+//   - overhead: best-of warm evaluation time with ctx.Budget == nil (the
+//     zero-cost default, one predicted nil check per loop iteration)
+//     against a live Budget with fuel, deadline and cardinality cap all
+//     armed. The contract — mirrored by the alloc pins of
+//     internal/plan and internal/axes — is that the difference stays in
+//     the noise; the ratio is reported, not gated (single-core container
+//     nanoseconds are machine-dependent).
+//   - cancellation latency: a concurrent Cancel() against an in-flight
+//     evaluation on the largest document, measured from the Cancel call
+//     to the engine's error return — the bound on how long a 504'd
+//     request can keep holding a server worker slot.
+//   - trip time: time to ErrBudgetExceeded with a few steps of fuel, the
+//     deterministic classification proving the fuel accounting works at
+//     every size.
+
+// E19Row is one engine × document-size cell of the E19 sweep.
+type E19Row struct {
+	Engine string `json:"engine"`
+	Size   int    `json:"size"`
+	// NilBudgetNs and LiveBudgetNs are best-of warm evaluation times with
+	// no budget and with a generous live budget; OverheadPct is their
+	// relative difference (negative = in the noise).
+	NilBudgetNs  int64   `json:"nil_budget_ns"`
+	LiveBudgetNs int64   `json:"live_budget_ns"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	// TripOK reports that a tiny fuel allowance produced
+	// ErrBudgetExceeded; TripNs is the time from call to that error.
+	TripOK bool  `json:"trip_ok"`
+	TripNs int64 `json:"trip_ns"`
+	// Canceled/CancelLatencyNs are set on the largest size only: a
+	// concurrent cancel against the in-flight evaluation, measured from
+	// Cancel() to the engine's return. Canceled is false when the
+	// evaluation finished before the cancel landed (fast engine, small
+	// document) — the latency is then meaningless and omitted.
+	Canceled        bool  `json:"canceled,omitempty"`
+	CancelLatencyNs int64 `json:"cancel_latency_ns,omitempty"`
+}
+
+// e19Engines returns the engine sweep and the query each one runs: the
+// positional running query for the full-XPath engines, a Core XPath
+// fragment query for corexpath.
+func e19Engines() []struct {
+	name string
+	eng  engine.Engine
+	src  string
+} {
+	const heavy = `//b[position() != last()]/descendant-or-self::*[count(child::*) >= 0]`
+	const coreq = `/descendant::b[child::d]/descendant-or-self::*/child::*`
+	return []struct {
+		name string
+		eng  engine.Engine
+		src  string
+	}{
+		{"optmincontext", core.NewOptMinContext(), heavy},
+		{"topdown", topdown.New(), heavy},
+		{"compiled", plan.New(), heavy},
+		{"corexpath", corexpath.New(), coreq},
+	}
+}
+
+// e19Best times best-of-reps warm evaluation under the given budget
+// limits (nil limits = nil budget). A fresh budget per call keeps the
+// fuel from accumulating across reps.
+func e19Best(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, reps int, lim *budget.Limits) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		ctx := engine.RootContext(doc)
+		if lim != nil {
+			ctx.Budget = budget.New(*lim)
+		}
+		start := time.Now()
+		_, _, err := eng.Evaluate(q, doc, ctx)
+		if err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// e19Cancel measures one concurrent cancellation against an in-flight
+// evaluation: the delay before canceling is half the engine's measured
+// full evaluation time on the same document, and the latency runs from
+// Cancel() to return. The caller passes a document big enough that the
+// evaluation comfortably outlives time.Sleep's scheduling granularity;
+// a false return means the evaluation still finished first.
+func e19Cancel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, full time.Duration) (canceled bool, latency time.Duration) {
+	bud := budget.New(budget.Limits{})
+	ctx := engine.RootContext(doc)
+	ctx.Budget = bud
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := eng.Evaluate(q, doc, ctx)
+		done <- err
+	}()
+	delay := full / 2
+	if delay < 50*time.Microsecond {
+		delay = 50 * time.Microsecond
+	}
+	time.Sleep(delay)
+	t0 := time.Now()
+	bud.Cancel()
+	err := <-done
+	if !errors.Is(err, budget.ErrCanceled) {
+		return false, 0 // finished before the cancel landed
+	}
+	return true, time.Since(t0)
+}
+
+// E19 runs the budget-pricing sweep and returns the printable table plus
+// the raw rows for JSON emission.
+func E19(cfg Config) (*Table, []E19Row) {
+	cfg = cfg.Defaults()
+	live := budget.Limits{Steps: 1 << 40, Deadline: time.Hour, MaxResultCard: 1 << 30}
+	var rows []E19Row
+	for _, e := range e19Engines() {
+		q := mustCompile(e.src)
+		for i, n := range cfg.Sizes {
+			doc := workload.Scaled(n)
+			row := E19Row{Engine: e.name, Size: n}
+			nilNs, err := e19Best(e.eng, q, doc, cfg.Reps, nil)
+			if err != nil {
+				continue // engine limit (e.g. bottomup table estimate); skip the cell
+			}
+			liveNs, err := e19Best(e.eng, q, doc, cfg.Reps, &live)
+			if err != nil {
+				continue
+			}
+			row.NilBudgetNs = nilNs.Nanoseconds()
+			row.LiveBudgetNs = liveNs.Nanoseconds()
+			row.OverheadPct = 100 * (float64(liveNs) - float64(nilNs)) / float64(nilNs)
+
+			// Trip time: a handful of fuel must classify as exceeded.
+			tripStart := time.Now()
+			ctx := engine.RootContext(doc)
+			ctx.Budget = budget.New(budget.Limits{Steps: 8})
+			_, _, terr := e.eng.Evaluate(q, doc, ctx)
+			row.TripNs = time.Since(tripStart).Nanoseconds()
+			row.TripOK = errors.Is(terr, budget.ErrBudgetExceeded)
+
+			if i == len(cfg.Sizes)-1 {
+				// The cancel leg runs on a document an order of magnitude
+				// larger, so the in-flight window dwarfs time.Sleep's
+				// millisecond-scale scheduling granularity.
+				big := workload.Scaled(8 * n)
+				fullNs, err := e19Best(e.eng, q, big, 1, nil)
+				if err == nil {
+					canceled, lat := e19Cancel(e.eng, q, big, fullNs)
+					row.Canceled, row.CancelLatencyNs = canceled, lat.Nanoseconds()
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return e19Table(rows), rows
+}
+
+// e19Table renders one line per engine × size.
+func e19Table(rows []E19Row) *Table {
+	cols := []string{"engine", "|D|", "nil budget", "live budget", "overhead", "trip", "cancel latency"}
+	params := make([]int, len(rows))
+	for i := range params {
+		params[i] = i
+	}
+	t := NewTable(
+		"E19 — budget-check overhead and cancellation latency",
+		"warm best-of evaluation with nil vs live Budget (fuel+deadline+card armed); trip = time to ErrBudgetExceeded on 8 fuel; cancel latency = concurrent Cancel() to engine return on the largest |D|; single-core container, overhead ratio not gated",
+		"#", "mixed", params, cols)
+	for i, r := range rows {
+		t.Set("engine", i, r.Engine)
+		t.Set("|D|", i, fmt.Sprint(r.Size))
+		t.Set("nil budget", i, formatDuration(time.Duration(r.NilBudgetNs)))
+		t.Set("live budget", i, formatDuration(time.Duration(r.LiveBudgetNs)))
+		t.Set("overhead", i, fmt.Sprintf("%+.1f%%", r.OverheadPct))
+		if r.TripOK {
+			t.Set("trip", i, formatDuration(time.Duration(r.TripNs)))
+		} else {
+			t.Set("trip", i, "MISS")
+		}
+		if r.Canceled {
+			t.Set("cancel latency", i, formatDuration(time.Duration(r.CancelLatencyNs)))
+		} else {
+			t.Set("cancel latency", i, "-")
+		}
+	}
+	return t
+}
+
+// WriteE19JSON emits the E19 rows plus a process metrics-registry snapshot
+// as a JSON document (BENCH_E19.json at the repository root).
+func WriteE19JSON(path string, rows []E19Row) error {
+	doc := struct {
+		Experiment string           `json:"experiment"`
+		Unit       string           `json:"unit"`
+		Note       string           `json:"note"`
+		Rows       []E19Row         `json:"rows"`
+		Metrics    metrics.Snapshot `json:"metrics"`
+	}{
+		Experiment: "E19",
+		Unit:       "ns (best-of warm evaluation, trip time, cancel latency)",
+		Note:       "budget pricing: nil vs live Budget on the warm path (the nil check is the whole price by contract), deterministic ErrBudgetExceeded classification on 8 fuel, and concurrent-cancel latency on the largest document; nanoseconds are machine-dependent — no wall-clock claims gated",
+		Rows:       rows,
+		Metrics:    metrics.Default().Snapshot(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE19Claims gates the deterministic half of E19: every engine in the
+// sweep produces rows, every row's tiny-fuel run classified as
+// ErrBudgetExceeded, and the measured times are sane. The overhead ratio
+// and the cancellation latency are machine-dependent and deliberately not
+// gated.
+func TestE19Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Config{Reps: 1, Sizes: []int{20, 40}}
+	_, rows := E19(cfg)
+	if len(rows) == 0 {
+		t.Fatal("E19 produced no rows")
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Engine] = true
+		if !r.TripOK {
+			t.Errorf("%s |D|=%d: tiny fuel did not classify as ErrBudgetExceeded", r.Engine, r.Size)
+		}
+		if r.NilBudgetNs <= 0 || r.LiveBudgetNs <= 0 {
+			t.Errorf("%s |D|=%d: non-positive timing (%d, %d)", r.Engine, r.Size, r.NilBudgetNs, r.LiveBudgetNs)
+		}
+	}
+	for _, e := range e19Engines() {
+		if !seen[e.name] {
+			t.Errorf("no rows for engine %s", e.name)
+		}
+	}
+}
+
+// TestE19JSONRoundTrip pins the artifact shape of BENCH_E19.json.
+func TestE19JSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Config{Reps: 1, Sizes: []int{20}}
+	_, rows := E19(cfg)
+	path := filepath.Join(t.TempDir(), "BENCH_E19.json")
+	if err := WriteE19JSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string   `json:"experiment"`
+		Rows       []E19Row `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if doc.Experiment != "E19" || len(doc.Rows) != len(rows) {
+		t.Fatalf("artifact = %q with %d rows, want E19 with %d", doc.Experiment, len(doc.Rows), len(rows))
+	}
+}

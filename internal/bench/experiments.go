@@ -544,8 +544,8 @@ func sameBatch(a, b []store.DocResult) bool {
 
 // RunAll executes every experiment and prints the tables. A non-empty
 // e16JSONPath additionally emits the E16 before/after rows as JSON
-// (likewise e17JSONPath and e18JSONPath for E17/E18).
-func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath string) {
+// (likewise e17JSONPath, e18JSONPath and e19JSONPath for E17/E18/E19).
+func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath, e19JSONPath string) {
 	start := time.Now()
 	E5(cfg).Print(w)
 	E6(cfg).Print(w)
@@ -591,6 +591,15 @@ func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath strin
 			fmt.Fprintf(w, "E18 JSON: %v\n", err)
 		} else {
 			fmt.Fprintf(w, "wrote %s\n", e18JSONPath)
+		}
+	}
+	t19, rows19 := E19(cfg)
+	t19.Print(w)
+	if e19JSONPath != "" {
+		if err := WriteE19JSON(e19JSONPath, rows19); err != nil {
+			fmt.Fprintf(w, "E19 JSON: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", e19JSONPath)
 		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

@@ -14,6 +14,7 @@ package bottomup
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/values"
@@ -24,6 +25,12 @@ import (
 // allocate (the |dom|³·|Q| tables grow quickly); exceeding it returns an
 // error rather than exhausting memory. Zero means no bound.
 var MaxCells int64 = 64 << 20
+
+// ErrUnsupportedID rejects id() calls whose argument depends on the context
+// position/size: strict E↑ would need a |C|-sized node-set table for them, a
+// combination outside every fragment the paper evaluates. Historically this
+// was a panic deep in table assembly; it is a plain evaluation error now.
+var ErrUnsupportedID = fmt.Errorf("bottomup: id() with position-dependent argument is not supported by E↑ tables")
 
 // Engine is the E↑ evaluator. The zero value is ready to use.
 type Engine struct{}
@@ -41,6 +48,7 @@ func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Conte
 		q:      q,
 		n:      doc.Size(),
 		nodes:  doc.NumNodes(),
+		bud:    ctx.Budget,
 		scalar: make([][]values.Value, q.Size()),
 		nset:   make([][]*xmltree.Set, q.Size()),
 	}
@@ -100,6 +108,16 @@ type evaluator struct {
 	scalar [][]values.Value // per parse node: cn × (cp,cs) → value
 	nset   [][]*xmltree.Set // per parse node: cn → node set
 	st     engine.Stats
+	bud    *budget.Budget
+}
+
+// charge spends n budget steps; the table-building loops check it per
+// context-node row, so a canceled evaluation stops within one row.
+func (ev *evaluator) charge(n int64) error {
+	if b := ev.bud; b != nil {
+		return b.Step(n)
+	}
+	return nil
 }
 
 // cellIndex addresses the (cn, cp, cs) cell of a dense scalar table.
@@ -157,6 +175,10 @@ func (ev *evaluator) buildScalar(e syntax.Expr) error {
 	for cn := 0; cn < ev.nodes; cn++ {
 		node := ev.doc.Node(cn)
 		for cs := 1; cs <= ev.maxCS; cs++ {
+			// Fuel maps to cells written: cs cells per (cn, cs) row.
+			if err := ev.charge(int64(cs)); err != nil {
+				return err
+			}
 			for cp := 1; cp <= cs; cp++ {
 				ev.st.ContextsEvaluated++
 				tab[ev.cellIndex(cn, cp, cs)] = ev.valueAt(e, node, cp, cs)
@@ -222,6 +244,9 @@ func (ev *evaluator) buildNodeSet(e syntax.Expr) error {
 	switch e := e.(type) {
 	case *syntax.Union:
 		for cn := 0; cn < ev.nodes; cn++ {
+			if err := ev.charge(1); err != nil {
+				return err
+			}
 			s := xmltree.NewSet(ev.doc)
 			for _, p := range e.Paths {
 				s.UnionWith(ev.nset[p.ID()][cn])
@@ -234,20 +259,23 @@ func (ev *evaluator) buildNodeSet(e syntax.Expr) error {
 		return ev.buildPath(e, tab)
 	case *syntax.Call:
 		// id(s) with a scalar argument (the nset form was normalized away).
+		// The argument is read from its (cp=1, cs=1) cells below, which is
+		// only sound when it is context-position-independent; otherwise E↑
+		// would need a |C|-sized nset table — a combination outside every
+		// fragment the paper evaluates. Reject it up front (it used to be
+		// detected one row into table assembly, as a panic).
+		if ev.q.RelevOf(e.Args[0]).NeedsPosition() {
+			return ErrUnsupportedID
+		}
 		for cn := 0; cn < ev.nodes; cn++ {
-			node := ev.doc.Node(cn)
-			// The argument is context-position-independent here only if its
-			// table says so for (1,1); per strict E↑ we use cp=cs=1 — id()'s
-			// argument may in principle depend on cp/cs, in which case E↑
-			// would need a |C|-sized nset table; that combination is outside
-			// every fragment the paper evaluates and is rejected.
-			arg := ev.scalar[e.Args[0].ID()][ev.cellIndex(cn, 1, 1)]
-			if ev.q.RelevOf(e.Args[0]).NeedsPosition() {
-				panic("bottomup: id() with position-dependent argument is not supported by E↑ tables")
+			if err := ev.charge(1); err != nil {
+				return err
 			}
+			node := ev.doc.Node(cn)
+			arg := ev.scalar[e.Args[0].ID()][ev.cellIndex(cn, 1, 1)]
 			v, err := values.Call(e.Fn, []values.Value{arg}, values.CallEnv{Doc: ev.doc, Node: node})
 			if err != nil {
-				panic(err)
+				return err
 			}
 			tab[cn] = v.Set
 			ev.st.TableCells += int64(v.Set.Len())
@@ -261,9 +289,12 @@ func (ev *evaluator) buildNodeSet(e syntax.Expr) error {
 func (ev *evaluator) buildPath(p *syntax.Path, tab []*xmltree.Set) error {
 	// Step relations: M[x] = nodes selected by the step from source x,
 	// filtered through the step's predicate tables.
-	stepRel := func(step *syntax.Step) [][]*xmltree.Node {
+	stepRel := func(step *syntax.Step) ([][]*xmltree.Node, error) {
 		m := make([][]*xmltree.Node, ev.nodes)
 		for x := 0; x < ev.nodes; x++ {
+			if err := ev.charge(1); err != nil {
+				return nil, err
+			}
 			cands := engine.Candidates(step.Axis, step.Test, ev.doc.Node(x), nil)
 			for _, pred := range step.Preds {
 				kept := cands[:0]
@@ -280,7 +311,7 @@ func (ev *evaluator) buildPath(p *syntax.Path, tab []*xmltree.Set) error {
 			ev.st.TableCells += int64(len(cands))
 		}
 		ev.st.AxisCalls++
-		return m
+		return m, nil
 	}
 
 	// Start sets per context node.
@@ -311,9 +342,15 @@ func (ev *evaluator) buildPath(p *syntax.Path, tab []*xmltree.Set) error {
 	// Compose the step relations over the start sets.
 	cur := starts
 	for _, step := range p.Steps {
-		m := stepRel(step)
+		m, err := stepRel(step)
+		if err != nil {
+			return err
+		}
 		next := make([]*xmltree.Set, ev.nodes)
 		for cn := 0; cn < ev.nodes; cn++ {
+			if err := ev.charge(1); err != nil {
+				return err
+			}
 			s := xmltree.NewSet(ev.doc)
 			cur[cn].ForEach(func(x *xmltree.Node) {
 				for _, y := range m[x.Pre()] {

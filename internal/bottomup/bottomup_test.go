@@ -1,6 +1,7 @@
 package bottomup
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/engine"
@@ -125,6 +126,33 @@ func TestUnionAndFilterTables(t *testing.T) {
 	}
 	if v, _ := eval(t, doc, `id("11 21")/child::c`); v.Set.Len() != 3 {
 		t.Errorf("id call: %s", v.Set)
+	}
+}
+
+// TestPositionDependentIDIsError: id() whose argument depends on the
+// context position is outside every fragment E↑ tables cover. Before the
+// fix this was a panic("bottomup: id() with position-dependent argument…")
+// raised one row into table assembly — a compilable query could crash the
+// process; it must be a plain evaluation error.
+func TestPositionDependentIDIsError(t *testing.T) {
+	doc := workload.Figure2()
+	for _, src := range []string{
+		`id(string(position()))`,
+		`id(concat("1", string(last())))/child::c`,
+	} {
+		q, err := syntax.Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("evaluate %q panicked: %v", src, r)
+			}
+		}()
+		_, _, err = New().Evaluate(q, doc, engine.RootContext(doc))
+		if !errors.Is(err, ErrUnsupportedID) {
+			t.Errorf("evaluate %q: err = %v, want ErrUnsupportedID", src, err)
+		}
 	}
 }
 

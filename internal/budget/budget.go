@@ -1,0 +1,220 @@
+// Package budget is the cooperative-cancellation substrate of the engine:
+// a per-evaluation Budget carrying a deadline, a cancel flag, a step (fuel)
+// counter and a result-cardinality cap, checked by every engine's main loop.
+//
+// The contract mirrors the Tracer contract of internal/trace: a nil *Budget
+// costs exactly one predicted nil check at every instrumented site and
+// nothing else — the warm evaluation path's allocation pins (2 allocs for
+// node-set results, 0 for scalars) hold with a live Budget attached, because
+// every Budget method is allocation-free (sentinel errors, atomic state).
+//
+// A Budget is safe for concurrent use: the server cancels it from the
+// handler goroutine while a pool worker evaluates, and the store fan-outs
+// share one Budget across all their workers so the first failure stops the
+// siblings. Cancellation is prompt (every Step call loads the state word);
+// deadline checks amortize the monotonic clock read over 16 Step calls, so
+// a deadline is noticed within 16 checked steps of expiring.
+package budget
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// The error taxonomy. All three are sentinel values — engines return them
+// unwrapped from the hot path, so tripping a budget allocates nothing.
+var (
+	// ErrCanceled reports a cooperative cancellation (Cancel was called:
+	// client disconnect, sibling-worker failure, server shutdown).
+	ErrCanceled = errors.New("xpath: evaluation canceled")
+	// ErrDeadlineExceeded reports an expired evaluation deadline.
+	ErrDeadlineExceeded = errors.New("xpath: evaluation deadline exceeded")
+	// ErrBudgetExceeded reports an exhausted step budget or an over-cap
+	// result cardinality.
+	ErrBudgetExceeded = errors.New("xpath: evaluation budget exceeded")
+)
+
+// Budget trip counters, by cause. Incremented once per Budget at the
+// transition into the tripped state, not per observation.
+var (
+	mCanceled  = metrics.Default().Counter("budget.canceled")
+	mDeadline  = metrics.Default().Counter("budget.deadline_exceeded")
+	mExhausted = metrics.Default().Counter("budget.exhausted")
+)
+
+// Budget states. The zero state is "running"; a Budget trips at most once
+// (first cause wins) and stays tripped.
+const (
+	stateOK int32 = iota
+	stateCanceled
+	stateDeadline
+	stateExhausted
+)
+
+// stateErrs maps a tripped state to its sentinel error.
+var stateErrs = [...]error{
+	stateOK:        nil,
+	stateCanceled:  ErrCanceled,
+	stateDeadline:  ErrDeadlineExceeded,
+	stateExhausted: ErrBudgetExceeded,
+}
+
+// Limits configures a Budget. Zero fields impose no corresponding limit, so
+// the zero Limits yields a pure cancellation token (only Cancel trips it).
+type Limits struct {
+	// Deadline bounds the evaluation's wall-clock duration, measured from
+	// New. The deadline clock is the monotonic trace.Now.
+	Deadline time.Duration
+	// Steps bounds the cooperative step count: every engine charges its
+	// main-loop iterations (context evaluations, VM block entries, location
+	// steps) against this fuel counter.
+	Steps int64
+	// MaxResultCard bounds the cardinality of a node-set result, checked by
+	// Card when the evaluation completes.
+	MaxResultCard int
+}
+
+// Budget is a shared, concurrency-safe evaluation budget. Create one with
+// New; the zero value works but imposes no limits and cannot be shared
+// before first use is published.
+type Budget struct {
+	state atomic.Int32
+	// tick amortizes deadline clock reads: Step reads the clock on every
+	// 16th call, so an expired deadline is noticed within 16 checks.
+	tick    atomic.Uint32
+	fuel    atomic.Int64
+	hasFuel bool
+	// deadline is the trace.Now instant after which the budget trips
+	// (0 = no deadline).
+	deadline int64
+	maxCard  int
+}
+
+// New returns a Budget enforcing the given limits, with any deadline armed
+// immediately.
+func New(l Limits) *Budget {
+	b := &Budget{maxCard: l.MaxResultCard}
+	if l.Steps > 0 {
+		b.hasFuel = true
+		b.fuel.Store(l.Steps)
+	}
+	if l.Deadline > 0 {
+		b.deadline = trace.Now() + int64(l.Deadline)
+	}
+	return b
+}
+
+// deadlineTick is the Step-call interval between deadline clock reads.
+// Power of two so the amortization is one mask.
+const deadlineTick = 16
+
+// Step charges n units of work and reports whether evaluation may continue.
+// A non-nil return is sticky: the budget has tripped and every future Step,
+// Err and Card observes the same error. Allocation-free.
+func (b *Budget) Step(n int64) error {
+	if s := b.state.Load(); s != stateOK {
+		return stateErrs[s]
+	}
+	if b.hasFuel && b.fuel.Add(-n) < 0 {
+		return b.trip(stateExhausted)
+	}
+	if b.deadline != 0 && b.tick.Add(1)&(deadlineTick-1) == 0 && trace.Now() > b.deadline {
+		return b.trip(stateDeadline)
+	}
+	return nil
+}
+
+// Err reports the budget's current state without charging work, reading the
+// deadline clock unconditionally (unlike Step's amortized read). Fan-out
+// coordinators poll it between work items.
+func (b *Budget) Err() error {
+	if s := b.state.Load(); s != stateOK {
+		return stateErrs[s]
+	}
+	if b.deadline != 0 && trace.Now() > b.deadline {
+		return b.trip(stateDeadline)
+	}
+	if b.hasFuel && b.fuel.Load() < 0 {
+		return b.trip(stateExhausted)
+	}
+	return nil
+}
+
+// Card checks a result cardinality against the MaxResultCard cap, tripping
+// the budget when n exceeds it.
+func (b *Budget) Card(n int) error {
+	if b.maxCard > 0 && n > b.maxCard {
+		return b.trip(stateExhausted)
+	}
+	if s := b.state.Load(); s != stateOK {
+		return stateErrs[s]
+	}
+	return nil
+}
+
+// Cancel trips the budget cooperatively: every in-flight evaluation checking
+// this budget returns ErrCanceled at its next check. Idempotent, safe from
+// any goroutine, a no-op on an already-tripped budget.
+func (b *Budget) Cancel() {
+	b.trip(stateCanceled)
+}
+
+// trip moves the budget into state s unless it already tripped; the first
+// cause wins and is the one counted and reported forever after.
+func (b *Budget) trip(s int32) error {
+	if b.state.CompareAndSwap(stateOK, s) {
+		switch s {
+		case stateCanceled:
+			mCanceled.Inc()
+		case stateDeadline:
+			mDeadline.Inc()
+		case stateExhausted:
+			mExhausted.Inc()
+		}
+	}
+	return stateErrs[b.state.Load()]
+}
+
+// bail carries a budget error through recursions that predate error returns
+// (core, topdown, naive): the engine panics with a *bail at the check site
+// and translates it back into a plain error at its Evaluate boundary.
+type bail struct{ err error }
+
+// Bail panics with err wrapped for RecoverBail. Only budget errors should
+// travel this way; anything else is a real panic and must stay one.
+func Bail(err error) {
+	panic(&bail{err: err})
+}
+
+// RecoverBail is the deferred counterpart of Bail: it converts an in-flight
+// bail back into *errp and re-panics anything else.
+//
+//	func (e *engine) Evaluate(...) (v values.Value, st engine.Stats, err error) {
+//	    defer budget.RecoverBail(&err)
+//	    ...
+func RecoverBail(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if b, ok := r.(*bail); ok {
+		*errp = b.err
+		return
+	}
+	panic(r)
+}
+
+// FromPanic inspects a recovered value: if it is a budget bail, it returns
+// the carried error. Recovery sites that handle several panic protocols
+// (naive's work limit, the engine-wide panic guard) use it to keep budget
+// errors out of the panic taxonomy.
+func FromPanic(r any) (error, bool) {
+	if b, ok := r.(*bail); ok {
+		return b.err, true
+	}
+	return nil, false
+}

@@ -1,0 +1,222 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroLimitsNeverTrips(t *testing.T) {
+	b := New(Limits{})
+	for i := 0; i < 10_000; i++ {
+		if err := b.Step(1); err != nil {
+			t.Fatalf("Step(1) #%d: %v", i, err)
+		}
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if err := b.Card(1 << 30); err != nil {
+		t.Fatalf("Card: %v", err)
+	}
+}
+
+func TestCancelIsStickyAndIdempotent(t *testing.T) {
+	b := New(Limits{Steps: 1000})
+	if err := b.Step(1); err != nil {
+		t.Fatalf("pre-cancel Step: %v", err)
+	}
+	b.Cancel()
+	b.Cancel() // idempotent
+	for i := 0; i < 3; i++ {
+		if err := b.Step(1); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("post-cancel Step = %v, want ErrCanceled", err)
+		}
+		if err := b.Err(); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("post-cancel Err = %v, want ErrCanceled", err)
+		}
+		if err := b.Card(0); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("post-cancel Card = %v, want ErrCanceled", err)
+		}
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	b := New(Limits{Steps: 10})
+	var err error
+	steps := 0
+	for ; steps < 100; steps++ {
+		if err = b.Step(1); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("exhaustion error = %v, want ErrBudgetExceeded", err)
+	}
+	if steps != 10 {
+		t.Fatalf("tripped after %d steps, want 10", steps)
+	}
+	if err := b.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Err after exhaustion = %v", err)
+	}
+}
+
+func TestFuelBulkCharge(t *testing.T) {
+	b := New(Limits{Steps: 100})
+	if err := b.Step(100); err != nil {
+		t.Fatalf("Step(100) within fuel: %v", err)
+	}
+	if err := b.Step(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Step past fuel = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(Limits{Deadline: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	// Err reads the clock unconditionally.
+	if err := b.Err(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Err past deadline = %v, want ErrDeadlineExceeded", err)
+	}
+	if err := b.Step(1); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Step past deadline = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestDeadlineNoticedWithinAmortizationWindow(t *testing.T) {
+	b := New(Limits{Deadline: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	// Step amortizes clock reads over deadlineTick calls, so the expired
+	// deadline must surface within that many checks.
+	for i := 0; i < deadlineTick; i++ {
+		if err := b.Step(1); err != nil {
+			if !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("Step = %v, want ErrDeadlineExceeded", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("deadline not noticed within %d steps", deadlineTick)
+}
+
+func TestFirstCauseWins(t *testing.T) {
+	b := New(Limits{Steps: 1})
+	if err := b.Step(5); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Step = %v, want ErrBudgetExceeded", err)
+	}
+	b.Cancel() // must not overwrite the recorded cause
+	if err := b.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Err after late Cancel = %v, want ErrBudgetExceeded (first cause)", err)
+	}
+}
+
+func TestCardCap(t *testing.T) {
+	b := New(Limits{MaxResultCard: 5})
+	if err := b.Card(5); err != nil {
+		t.Fatalf("Card(5) at cap: %v", err)
+	}
+	if err := b.Card(6); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Card(6) = %v, want ErrBudgetExceeded", err)
+	}
+	// Tripping through Card is sticky like every other trip.
+	if err := b.Step(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Step after Card trip = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestConcurrentCancelAndStep(t *testing.T) {
+	// Exercised under -race in CI: many goroutines stepping while one
+	// cancels must converge on ErrCanceled without data races.
+	b := New(Limits{})
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				if err := b.Step(1); err != nil {
+					if !errors.Is(err, ErrCanceled) {
+						t.Errorf("Step = %v, want ErrCanceled", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	b.Cancel()
+	wg.Wait()
+}
+
+func TestBailRoundTrip(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverBail(&err)
+		Bail(ErrCanceled)
+		return nil
+	}
+	if err := run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("bail round trip = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRecoverBailRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("foreign panic swallowed by RecoverBail")
+		}
+		if r != "boom" {
+			t.Fatalf("re-panicked value = %v, want boom", r)
+		}
+	}()
+	var err error
+	func() {
+		defer RecoverBail(&err)
+		panic("boom")
+	}()
+}
+
+func TestFromPanic(t *testing.T) {
+	func() {
+		defer func() {
+			r := recover()
+			err, ok := FromPanic(r)
+			if !ok {
+				t.Errorf("FromPanic failed to classify a bail")
+			}
+			if !errors.Is(err, ErrBudgetExceeded) {
+				t.Errorf("FromPanic err = %v", err)
+			}
+		}()
+		Bail(ErrBudgetExceeded)
+	}()
+	if _, ok := FromPanic("boom"); ok {
+		t.Fatalf("FromPanic claimed a foreign panic")
+	}
+}
+
+func TestStepAllocationFree(t *testing.T) {
+	b := New(Limits{Steps: 1 << 30, Deadline: time.Hour})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := b.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %v per call, want 0", allocs)
+	}
+	// Tripped budgets return sentinel errors: still allocation-free.
+	b.Cancel()
+	allocs = testing.AllocsPerRun(1000, func() {
+		if b.Step(1) == nil {
+			t.Fatal("tripped Step returned nil")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("tripped Step allocates %v per call, want 0", allocs)
+	}
+}

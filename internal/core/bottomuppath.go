@@ -16,6 +16,7 @@ import (
 // initial node set through the inverse axes of π — and fills table(N) with
 // {(x, true) | x ∈ X} ∪ {(x, false) | x ∉ X}, using linear space.
 func (ev *evaluation) evalBottomupPath(id int) {
+	ev.charge(1)
 	e := ev.q.Node(id)
 	if ev.tab[id] != nil {
 		return // already filled (shared subexpression of an earlier pass)
@@ -78,6 +79,7 @@ func (ev *evaluation) evalBottomupPath(id int) {
 func (ev *evaluation) propagatePathBackwards(pi *syntax.Path, y *xmltree.Set) *xmltree.Set {
 	cur := y
 	for i := len(pi.Steps) - 1; i >= 0; i-- {
+		ev.charge(1)
 		if cur.IsEmpty() {
 			// "if Y = ∅ then return ∅".
 			break

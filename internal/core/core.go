@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/axes"
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/values"
@@ -93,18 +94,22 @@ func (e *Engine) Name() string {
 
 // Evaluate implements engine.Engine: Algorithm 6 (MINCONTEXT), preceded by
 // the bottom-up pass of Algorithm 8 when the engine is OPTMINCONTEXT.
-func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
 	sc, _ := e.scratch.Get().(*axes.Scratch)
 	if sc == nil {
 		sc = axes.NewScratch()
 	}
 	defer e.scratch.Put(sc)
+	// The recursive procedures have no error returns (they mirror the
+	// paper's pseudo-code); a tripped budget travels out as a bail.
+	defer budget.RecoverBail(&err)
 	ev := &evaluation{
 		q:     q,
 		doc:   doc,
 		inCtx: ctx,
 		opts:  e.opts,
 		sc:    sc,
+		bud:   ctx.Budget,
 		tab:   make([]map[int]values.Value, q.Size()),
 	}
 	if e.bottomUp {
@@ -114,7 +119,7 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 			ev.evalBottomupPath(id)
 		}
 	}
-	v, err := ev.run()
+	v, err = ev.run()
 	return v, ev.st, err
 }
 
@@ -126,7 +131,8 @@ type evaluation struct {
 	inCtx engine.Context
 	opts  Options
 	st    engine.Stats
-	sc    *axes.Scratch // kernel scratch, reused across every axis call
+	sc    *axes.Scratch  // kernel scratch, reused across every axis call
+	bud   *budget.Budget // optional cooperative budget; nil = unlimited
 
 	// tab[N.ID()] is table(N): context → value, keyed by the context node's
 	// document-order index, or by wildcardKey when Relev(N) ∩ {cn} = ∅.
@@ -138,6 +144,17 @@ type evaluation struct {
 // wildcardKey indexes the single row of a context-independent table — the
 // "∗" of the Section 6 pseudo-code.
 const wildcardKey = -1
+
+// charge spends n budget steps, bailing out of the recursion on a tripped
+// budget (Evaluate's deferred RecoverBail translates the bail back into the
+// budget error). The nil-budget fast path is one predicted branch.
+func (ev *evaluation) charge(n int64) {
+	if b := ev.bud; b != nil {
+		if err := b.Step(n); err != nil {
+			budget.Bail(err)
+		}
+	}
+}
 
 // run is Algorithm 6 (MINCONTEXT proper).
 func (ev *evaluation) run() (values.Value, error) {

@@ -74,6 +74,7 @@ func (ev *evaluation) stepForward(step *syntax.Step, x *xmltree.Set) *xmltree.Se
 //	if no ei depends on cp/cs:  filter Y by single-context predicate checks;
 //	else: per x, loop over the ordered candidate list with 〈zj, j, m〉.
 func (ev *evaluation) stepMap(step *syntax.Step, x *xmltree.Set, emit func(x *xmltree.Node, selected []*xmltree.Node)) {
+	ev.charge(1)
 	y := xmltree.NewSet(ev.doc)
 	engine.StepImageInto(&ev.st, y, step.Axis, step.Test, x, ev.sc)
 	needsPos := false
@@ -140,6 +141,7 @@ func (ev *evaluation) predsHold(preds []syntax.Expr, y *xmltree.Node) bool {
 // on the current context position/size, it fills table(M) for the context
 // nodes in X (nil X is the wildcard "∗").
 func (ev *evaluation) evalByCnodeOnly(e syntax.Expr, x *xmltree.Set) {
+	ev.charge(1)
 	if ev.filled(e, x) {
 		return // already tabled (bottom-up pre-pass, or an earlier call)
 	}
@@ -205,6 +207,7 @@ func directChildren(e syntax.Expr) []syntax.Expr {
 // combine computes F[[Op]](r1, …, rk) for one context node from the
 // children's tables — the table(N) assembly step of eval_by_cnode_only.
 func (ev *evaluation) combine(e syntax.Expr, cn *xmltree.Node) values.Value {
+	ev.charge(1)
 	ev.st.ContextsEvaluated++
 	switch e := e.(type) {
 	case *syntax.NumberLit:
@@ -244,6 +247,7 @@ func (ev *evaluation) combine(e syntax.Expr, cn *xmltree.Node) values.Value {
 // 0 for the wildcard "∗". It requires that eval_by_cnode_only has been run
 // for N (with a covering context-node set) beforehand.
 func (ev *evaluation) evalSingleContext(e syntax.Expr, cn *xmltree.Node, cp, cs int) values.Value {
+	ev.charge(1)
 	ev.st.ContextsEvaluated++
 	if !ev.relevOf(e).NeedsPosition() {
 		return ev.lookup(e, cn)

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/axes"
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/trace"
@@ -43,7 +44,7 @@ func (*Engine) Name() string { return "corexpath" }
 var ErrNotCore = fmt.Errorf("corexpath: query is not in the Core XPath fragment (Definition 12)")
 
 // Evaluate implements engine.Engine.
-func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
+func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
 	if q.Fragment != syntax.FragmentCoreXPath {
 		return values.Value{}, engine.Stats{}, ErrNotCore
 	}
@@ -52,7 +53,10 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 		sc = axes.NewScratch()
 	}
 	defer e.scratch.Put(sc)
-	ev := &evaluator{doc: doc, sc: sc, tr: ctx.Tracer}
+	// The satisfaction-set recursion has no error returns; budget trips
+	// travel out of it as a bail.
+	defer budget.RecoverBail(&err)
+	ev := &evaluator{doc: doc, sc: sc, tr: ctx.Tracer, bud: ctx.Budget}
 	p := q.Root.(*syntax.Path)
 
 	// The main path runs forward over two alternating buffers: every step is
@@ -64,6 +68,13 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 	}
 	next := xmltree.NewSet(doc)
 	for i, step := range p.Steps {
+		// Each forward step is Θ(|D|) (fused image over the document), so
+		// it costs |D| fuel units — the engine-wide unit is "node touched".
+		if b := ev.bud; b != nil {
+			if err := b.Step(int64(doc.NumNodes())); err != nil {
+				return values.Value{}, ev.st, err
+			}
+		}
 		var t0 int64
 		var inCard int
 		if ev.tr != nil {
@@ -87,6 +98,7 @@ type evaluator struct {
 	st  engine.Stats
 	sc  *axes.Scratch
 	tr  trace.Tracer
+	bud *budget.Budget
 }
 
 // forwardStepInto computes χ(X) ∩ T(t) ∩ ⋂ⱼ sat(eⱼ) into dst, in O(|D|).
@@ -140,6 +152,12 @@ func (ev *evaluator) pathSat(p *syntax.Path) *xmltree.Set {
 	cur := ev.doc.AllNodes().Clone()
 	buf := xmltree.NewSet(ev.doc) // alternates with cur through the steps
 	for i := len(p.Steps) - 1; i >= 0; i-- {
+		// As in the forward loop, one backward step costs |D| fuel units.
+		if b := ev.bud; b != nil {
+			if err := b.Step(int64(ev.doc.NumNodes())); err != nil {
+				budget.Bail(err)
+			}
+		}
 		step := p.Steps[i]
 		cur.IntersectWith(engine.TestSet(ev.doc, step.Test))
 		for _, pred := range step.Preds {

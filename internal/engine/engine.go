@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/axes"
+	"repro/internal/budget"
 	"repro/internal/syntax"
 	"repro/internal/trace"
 	"repro/internal/values"
@@ -25,11 +26,18 @@ import (
 // is the strictly zero-cost default — every instrumented site guards its
 // reporting with one nil check, pinned allocation-free by the AllocsPerRun
 // guards.
+//
+// Budget, when non-nil, is checked in every engine's main loop (VM block
+// entries, per-step set loops, per-context recursions), so cancellation,
+// deadlines and step limits interrupt an evaluation mid-flight. It follows
+// the same contract as Tracer: nil costs one predicted nil check per site,
+// and a live Budget stays within the pinned allocation counts.
 type Context struct {
 	Node   *xmltree.Node
 	Pos    int
 	Size   int
 	Tracer trace.Tracer
+	Budget *budget.Budget
 }
 
 // RootContext returns the default outermost context 〈root, 1, 1〉.

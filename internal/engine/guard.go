@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/budget"
+	"repro/internal/metrics"
+)
+
+// mPanics counts recovered evaluation panics process-wide — the "engine
+// survived a crash" signal the serving layer alarms on.
+var mPanics = metrics.Default().Counter("engine.panics")
+
+// EvalPanicError is a panic recovered at an evaluation boundary: the
+// panicked value plus the goroutine stack captured at recovery time. The
+// serving layer maps it to a 500 while the process keeps serving; the stack
+// makes the report actionable without crashing anything.
+type EvalPanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted stack of the panicking goroutine.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *EvalPanicError) Error() string {
+	return fmt.Sprintf("xpath: evaluation panicked: %v", e.Value)
+}
+
+// RecoverPanic is the deferred panic guard of every evaluation boundary
+// (public EvaluateWith, server pool workers, store batch and parallel
+// goroutines): it converts an in-flight panic into an *EvalPanicError in
+// *errp and counts it, so one crashing evaluation cannot take down its
+// process. Budget bails that escaped an engine's own RecoverBail are
+// translated into their plain budget error instead of a panic report.
+//
+//	defer engine.RecoverPanic(&err)
+func RecoverPanic(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if err, ok := budget.FromPanic(r); ok {
+		*errp = err
+		return
+	}
+	mPanics.Inc()
+	*errp = &EvalPanicError{Value: r, Stack: debug.Stack()}
+}

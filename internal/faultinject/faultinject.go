@@ -1,0 +1,59 @@
+//go:build faultinject
+
+// Package faultinject is the chaos-testing failpoint registry. In default
+// builds (no "faultinject" build tag) every function is an inlined no-op, so
+// production binaries carry zero overhead and zero attack surface; under
+// `go test -tags faultinject` the chaos tests arm failpoints by site name to
+// force panics, delays and budget exhaustion at precise places inside the
+// serving stack, proving the recovery paths actually run.
+//
+// Sites wired into the stack:
+//
+//	xpath.evaluate      — inside EvaluateWith's panic-guarded region
+//	server.worker       — inside a pool worker, before running a job
+//	store.batch.worker  — inside a batch worker, per claimed document
+//	store.parallel      — inside an EvaluateParallel worker
+package faultinject
+
+import "sync"
+
+// Enabled reports whether the build carries failpoint support.
+const Enabled = true
+
+var (
+	mu    sync.Mutex
+	sites = map[string]func(){}
+)
+
+// Arm installs f at the named site: every subsequent Hit(site) invokes it
+// (panicking f's panic at the Hit call site, sleeping f's sleep, and so on)
+// until Disarm or Reset. Arming replaces any previous function at the site.
+func Arm(site string, f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = f
+}
+
+// Disarm removes the failpoint at the named site.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, site)
+}
+
+// Reset removes every armed failpoint.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]func(){}
+}
+
+// Hit fires the failpoint armed at the named site, if any.
+func Hit(site string) {
+	mu.Lock()
+	f := sites[site]
+	mu.Unlock()
+	if f != nil {
+		f()
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the build carries failpoint support.
+const Enabled = false
+
+// Arm is a no-op without the faultinject build tag.
+func Arm(string, func()) {}
+
+// Disarm is a no-op without the faultinject build tag.
+func Disarm(string) {}
+
+// Reset is a no-op without the faultinject build tag.
+func Reset() {}
+
+// Hit is a no-op without the faultinject build tag; it is small enough that
+// the compiler inlines it away, so instrumented call sites cost nothing in
+// production builds.
+func Hit(string) {}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// BudgetGuard enforces the "nil budget is strictly zero-cost" contract,
+// the Budget twin of tracerguard: every hot-path method call — Step, Err,
+// Card — on an expression of type *budget.Budget must be dominated by a
+// nil check of that same expression. Accepted guard shapes are the ones
+// tracerguard accepts (`if x != nil { ... }`, `if x == nil { return }`)
+// plus the repair idiom of the fan-out paths:
+//
+//	if x == nil {
+//		x = budget.New(...)
+//	}
+//
+// which establishes x != nil for everything after it in the block.
+//
+// Constructor-adjacent methods (Cancel, Bail and friends) are exempt:
+// they run on cold paths where the caller provably holds a fresh budget.
+// The budget package itself is exempt — the methods are the contract's
+// implementation, not its consumers.
+var BudgetGuard = &Analyzer{
+	Name: "budgetguard",
+	Doc:  "require a dominating nil check before Budget.Step/Err/Card calls",
+	Run:  runBudgetGuard,
+}
+
+// budgetHotMethods are the per-iteration calls engines make on the hot
+// path; only these need the nil-guard discipline.
+var budgetHotMethods = map[string]bool{"Step": true, "Err": true, "Card": true}
+
+func runBudgetGuard(pass *Pass) {
+	if pkgPathIs(pass.Pkg.Path(), "budget") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBudgetGuard(pass, fn)
+		}
+	}
+}
+
+func checkBudgetGuard(pass *Pass, fn *ast.FuncDecl) {
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := budgetReceiver(pass, call); recv != nil {
+				if !nilGuarded(pass, stack, n, recv) && !nilRepaired(stack, n, recv) {
+					pass.Reportf(call.Pos(), "call to %s.%s is not dominated by a nil check of %s (a nil Budget must stay zero-cost)",
+						exprString(recv), calledName(call), exprString(recv))
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// budgetReceiver returns the receiver expression when call is one of the
+// hot-path methods on a *budget.Budget, else nil.
+func budgetReceiver(pass *Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !budgetHotMethods[sel.Sel.Name] {
+		return nil
+	}
+	if !typeIs(pass.TypeOf(sel.X), "budget", "Budget") {
+		return nil
+	}
+	return sel.X
+}
+
+// nilRepaired reports whether an earlier statement of an enclosing block
+// is `if recv == nil { ...; recv = <non-nil> }` — the repair idiom that
+// guarantees recv != nil for every later statement.
+func nilRepaired(stack []ast.Node, node ast.Node, recv ast.Expr) bool {
+	want := exprString(recv)
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		parent := stack[i]
+		if p, ok := parent.(*ast.BlockStmt); ok {
+			for _, stmt := range p.List {
+				if containsNode(stmt, child) {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || ifs.Else != nil || !condChecksIsNil(ifs.Cond, want) {
+					continue
+				}
+				if assignsNonNil(ifs.Body, want) {
+					return true
+				}
+			}
+		}
+		child = parent
+	}
+	return false
+}
+
+// assignsNonNil reports whether the block's final statement assigns a
+// non-nil expression to want.
+func assignsNonNil(b *ast.BlockStmt, want string) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	as, ok := b.List[len(b.List)-1].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	return exprString(as.Lhs[0]) == want && !isNilIdent(as.Rhs[0])
+}

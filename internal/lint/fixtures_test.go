@@ -25,6 +25,7 @@ var fixtureTests = []struct {
 	analyzers []*Analyzer
 }{
 	{"noalloc", []*Analyzer{NoAlloc}},
+	{"budgetguard", []*Analyzer{BudgetGuard}},
 	{"scratchown", []*Analyzer{ScratchOwn}},
 	{"tracerguard", []*Analyzer{TracerGuard}},
 	{"maporder", []*Analyzer{MapOrder}},

@@ -3,7 +3,7 @@
 // keep the paper's O(|D|·|Q|) guarantees true in this codebase but that
 // used to live only in README prose and reviewer memory.
 //
-// The five analyzers:
+// The analyzers:
 //
 //   - noalloc: functions annotated //xpathlint:noalloc may not contain
 //     syntactic allocators (make/new, allocating composite literals,
@@ -17,6 +17,9 @@
 //   - tracerguard: every method call on a trace.Tracer-typed expression
 //     must be dominated by a nil check, preserving the "nil tracer is
 //     strictly zero-cost" contract.
+//   - budgetguard: every Step/Err/Card call on a *budget.Budget must be
+//     dominated by a nil check, preserving the twin "nil budget is
+//     strictly zero-cost" contract on every engine's hot path.
 //   - maporder: functions annotated //xpathlint:deterministic (the ones
 //     producing user-visible or wire-format output) may range over a map
 //     only to accumulate order-insensitively (collect-then-sort,

@@ -1,0 +1,18 @@
+// Package budget is a hermetic stand-in for repro/internal/budget:
+// budgetguard matches *budget.Budget by package-suffix + name.
+package budget
+
+type Limits struct {
+	Steps int64
+}
+
+type Budget struct {
+	fuel int64
+}
+
+func New(l Limits) *Budget { return &Budget{fuel: l.Steps} }
+
+func (b *Budget) Step(n int64) error { return nil }
+func (b *Budget) Err() error         { return nil }
+func (b *Budget) Card(n int) error   { return nil }
+func (b *Budget) Cancel()            {}

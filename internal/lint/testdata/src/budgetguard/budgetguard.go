@@ -1,0 +1,66 @@
+// Package budgetguard exercises the nil-budget contract: every Step, Err
+// or Card call on a *budget.Budget needs a dominating nil check of that
+// same expression.
+package budgetguard
+
+import "budget"
+
+type machine struct {
+	bud *budget.Budget
+}
+
+func unguarded(m *machine) error {
+	return m.bud.Step(1) // want `call to m\.bud\.Step is not dominated by a nil check of m\.bud`
+}
+
+func guardedIf(m *machine) error {
+	if m.bud != nil {
+		return m.bud.Step(1)
+	}
+	return nil
+}
+
+func guardedShortVar(m *machine) error {
+	if b := m.bud; b != nil {
+		return b.Step(1)
+	}
+	return nil
+}
+
+func guardedEarlyReturn(m *machine) error {
+	if m.bud == nil {
+		return nil
+	}
+	return m.bud.Err()
+}
+
+// repairIdiom: `if x == nil { x = New(...) }` establishes non-nil for the
+// rest of the block, including inside later closures.
+func repairIdiom(bud *budget.Budget) error {
+	if bud == nil {
+		bud = budget.New(budget.Limits{})
+	}
+	f := func() error { return bud.Err() }
+	return f()
+}
+
+// repairToNil assigns nil in the repair body: guarantees nothing.
+func repairToNil(bud *budget.Budget) error {
+	if bud == nil {
+		bud = nil
+	}
+	return bud.Err() // want `call to bud\.Err is not dominated by a nil check of bud`
+}
+
+// wrongGuard checks a different budget: does not dominate.
+func wrongGuard(m, other *machine) error {
+	if other.bud != nil {
+		return m.bud.Card(3) // want `not dominated by a nil check of m\.bud`
+	}
+	return nil
+}
+
+// coldPath: Cancel is not a hot-path method, no guard required.
+func coldPath(m *machine) {
+	m.bud.Cancel()
+}

@@ -13,6 +13,7 @@
 package naive
 
 import (
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/values"
@@ -43,7 +44,7 @@ func (e *ErrWorkLimit) Error() string {
 
 // Evaluate implements engine.Engine.
 func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
-	ev := &evaluator{doc: doc}
+	ev := &evaluator{doc: doc, bud: ctx.Budget}
 	defer func() {
 		// Translate the work-limit panic into an error; any other panic is
 		// a bug and propagates.
@@ -61,14 +62,20 @@ type evaluator struct {
 	doc  *xmltree.Document
 	st   engine.Stats
 	work int64
+	bud  *budget.Budget
 }
 
-// evalSafe wraps eval, converting the work-limit panic into an error.
+// evalSafe wraps eval, converting the work-limit panic (and a budget bail)
+// into an error.
 func (ev *evaluator) evalSafe(e syntax.Expr, ctx engine.Context) (v values.Value, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if wl, ok := r.(*ErrWorkLimit); ok {
 				err = wl
+				return
+			}
+			if berr, ok := budget.FromPanic(r); ok {
+				err = berr
 				return
 			}
 			panic(r)
@@ -81,6 +88,11 @@ func (ev *evaluator) charge() {
 	ev.work++
 	if MaxWork > 0 && ev.work > MaxWork {
 		panic(&ErrWorkLimit{Visited: ev.work})
+	}
+	if b := ev.bud; b != nil {
+		if err := b.Step(1); err != nil {
+			budget.Bail(err)
+		}
 	}
 }
 

@@ -2,7 +2,9 @@ package plan
 
 import (
 	"testing"
+	"time"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/trace"
@@ -57,6 +59,29 @@ func TestWarmEvaluateAllocs(t *testing.T) {
 		})
 		if got != c.want {
 			t.Errorf("%q: %v allocs/op on warm evaluation, want %v", c.src, got, c.want)
+		}
+
+		// The Budget contract mirrors the Tracer contract: a live Budget —
+		// fuel, deadline and cardinality cap all armed — must hold the same
+		// pins, because Step/Err/Card are allocation-free.
+		bctx := ctx
+		bctx.Budget = budget.New(budget.Limits{
+			Steps:         1 << 40,
+			Deadline:      time.Hour,
+			MaxResultCard: 1 << 30,
+		})
+		for i := 0; i < 5; i++ {
+			if _, _, err := e.Evaluate(q, doc, bctx); err != nil {
+				t.Fatalf("budgeted evaluate %q: %v", c.src, err)
+			}
+		}
+		got = testing.AllocsPerRun(50, func() {
+			if _, _, err := e.Evaluate(q, doc, bctx); err != nil {
+				t.Fatalf("budgeted evaluate %q: %v", c.src, err)
+			}
+		})
+		if got != c.want {
+			t.Errorf("%q: %v allocs/op with live Budget, want the pinned %v", c.src, got, c.want)
 		}
 	}
 }

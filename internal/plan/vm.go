@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/axes"
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/trace"
@@ -47,13 +48,14 @@ func (e *Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Con
 	}
 	m.reset(prog, doc)
 	m.tr = ctx.Tracer
+	m.bud = ctx.Budget
 	v, err := m.runBlock(0, ctx.Node, ctx.Pos, ctx.Size)
 	st := m.st
 	if err == nil && v.T == values.KindNodeSet {
 		// Detach the result from the machine's reusable arena.
 		v = values.NodeSet(v.Set.Clone())
 	}
-	m.prog, m.doc, m.tr = nil, nil, nil
+	m.prog, m.doc, m.tr, m.bud = nil, nil, nil, nil
 	e.pool.Put(m)
 	return v, st, err
 }
@@ -85,6 +87,12 @@ type machine struct {
 	// instruction. The nil case is the hot path: one predicted branch per
 	// instruction and nothing else (pinned by TestWarmEvaluateAllocs).
 	tr trace.Tracer
+	// bud, when non-nil, is charged one step per block entry — the main
+	// block once per evaluation, predicate blocks once per candidate — so a
+	// positional predicate loop observes cancellation per candidate. The nil
+	// case is one predicted branch (pinned by TestWarmEvaluateAllocs with a
+	// live budget too).
+	bud *budget.Budget
 }
 
 func (m *machine) reset(p *Program, doc *xmltree.Document) {
@@ -146,6 +154,11 @@ func (m *machine) putBuf(b []*xmltree.Node) { m.bufs = append(m.bufs, b[:0]) }
 //
 //xpathlint:noalloc
 func (m *machine) runBlock(block int, cn *xmltree.Node, cp, cs int) (values.Value, error) {
+	if b := m.bud; b != nil {
+		if err := b.Step(1); err != nil {
+			return values.Value{}, err
+		}
+	}
 	m.st.ContextsEvaluated++
 	code := m.prog.Code
 	R := m.regs

@@ -18,6 +18,7 @@ var (
 	mAdmitted       = metrics.Default().Counter("server.admitted")
 	mRejectedFull   = metrics.Default().Counter("server.rejected.queue_full")
 	mRejectedDrain  = metrics.Default().Counter("server.rejected.draining")
+	mWorkerPanics   = metrics.Default().Counter("server.worker_panics")
 )
 
 // ErrQueueFull reports that the admission queue is at capacity; the HTTP
@@ -68,7 +69,7 @@ func newPool(workers, depth int) *pool {
 			for j := range p.jobs {
 				mQueueDepth.Set(int64(len(p.jobs)))
 				mQueueWaitNs.Observe(trace.Now() - j.enqueued)
-				j.run()
+				runJob(j.run)
 			}
 		}()
 	}
@@ -97,6 +98,20 @@ func (p *pool) submit(run func()) error {
 		mRejectedFull.Add(1)
 		return ErrQueueFull
 	}
+}
+
+// runJob runs one admitted job behind the pool's last-resort panic guard.
+// Jobs submitted through Server.run already recover their own panics into
+// structured errors; this backstop covers any other submitter, so a single
+// panicking job can never take the worker goroutine — and with it a slice
+// of the pool's capacity — down for the life of the process.
+func runJob(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			mWorkerPanics.Add(1)
+		}
+	}()
+	f()
 }
 
 // depth returns the current queue length (diagnostics; racy by nature).

@@ -1,0 +1,72 @@
+//go:build faultinject
+
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// TestChaosEnginePanicYields500 is the acceptance test for panic isolation
+// end-to-end: an injected panic inside the evaluation guard answers 500
+// with the engine.panics metric incremented, and the server — same worker
+// pool, same process — keeps serving.
+func TestChaosEnginePanicYields500(t *testing.T) {
+	defer faultinject.Reset()
+	s := newTestServer(t, Config{Workers: 1})
+
+	before := metrics.Default().Counter("engine.panics").Value()
+	faultinject.Arm("xpath.evaluate", func() { panic("chaos: engine") })
+	w := do(t, s, http.MethodPost, "/query",
+		QueryRequest{ID: "fig2", Query: "/child::a/child::b"}, nil)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (body %s)", w.Code, w.Body.String())
+	}
+	if got := metrics.Default().Counter("engine.panics").Value(); got <= before {
+		t.Fatalf("engine.panics = %d, want > %d", got, before)
+	}
+
+	faultinject.Disarm("xpath.evaluate")
+	w = do(t, s, http.MethodPost, "/query",
+		QueryRequest{ID: "fig2", Query: "/child::a/child::b"}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("request after panic: status = %d, want 200 (body %s)",
+			w.Code, w.Body.String())
+	}
+}
+
+// TestChaosWorkerDelayTimesOut: an injected stall in the pool worker makes
+// the request outlive its timeout (504); once disarmed the same server
+// answers 200 again.
+func TestChaosWorkerDelayTimesOut(t *testing.T) {
+	defer faultinject.Reset()
+	s := newTestServer(t, Config{Workers: 1, Timeout: 20 * time.Millisecond})
+
+	faultinject.Arm("server.worker", func() { time.Sleep(200 * time.Millisecond) })
+	w := do(t, s, http.MethodPost, "/query",
+		QueryRequest{ID: "fig2", Query: "/child::a/child::b"}, nil)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", w.Code, w.Body.String())
+	}
+
+	faultinject.Disarm("server.worker")
+	// The injected stall is not cancelable, so give the worker time to
+	// finish it before expecting clean service again.
+	deadline := time.After(5 * time.Second)
+	for {
+		w = do(t, s, http.MethodPost, "/query",
+			QueryRequest{ID: "fig2", Query: "/child::a/child::b"}, nil)
+		if w.Code == http.StatusOK {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("server never recovered from the stall, last status %d", w.Code)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

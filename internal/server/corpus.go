@@ -43,7 +43,11 @@ func LoadCorpus(path string) (*xpath.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		doc, err := xpath.ParseDocument(f)
+		// The ingest limits are enforced explicitly on the server's document
+		// path: a corpus file that nests deep enough to threaten the stack or
+		// large enough to blow memory fails the load with a named error
+		// instead of taking the process down before it ever serves.
+		doc, err := xpath.ParseDocumentLimits(f, xpath.DefaultParseLimits())
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)

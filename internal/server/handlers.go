@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -73,6 +74,24 @@ func (s *Server) resolveEngine(w http.ResponseWriter, name string) (xpath.Engine
 		return 0, false
 	}
 	return eng, true
+}
+
+// evalStatus maps an evaluation failure to its HTTP status and message:
+// recovered panics are the server's fault (500), budget trips are policy
+// (504 for time, 422 for fuel/cardinality — the query is well-formed but
+// too expensive), and everything else is the request's fault (400).
+func evalStatus(err error) (int, string) {
+	var pe *xpath.EvalPanicError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, fmt.Sprintf("internal error: %v", err)
+	case errors.Is(err, xpath.ErrCanceled), errors.Is(err, xpath.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, fmt.Sprintf("evaluation timed out: %v", err)
+	case errors.Is(err, xpath.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity, fmt.Sprintf("evaluation exceeded its budget: %v", err)
+	default:
+		return http.StatusBadRequest, fmt.Sprintf("evaluation failed: %v", err)
+	}
 }
 
 // NodeJSON is one result node of a /query response.
@@ -202,16 +221,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		evalErr error
 		evalNs  int64
 	)
-	if !s.run(w, r, func() {
+	bud := s.newBudget()
+	if !s.run(w, r, bud, func() {
 		tEval := trace.Now()
-		res, evalErr = q.EvaluateWith(doc, xpath.Options{Engine: eng, Tracer: tr})
+		res, evalErr = q.EvaluateWith(doc, xpath.Options{Engine: eng, Tracer: tr, Budget: bud})
 		evalNs = trace.Now() - tEval
 		mEvalNs.Observe(evalNs)
 	}) {
 		return
 	}
 	if evalErr != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("evaluation failed: %v", evalErr))
+		status, msg := evalStatus(evalErr)
+		writeError(w, status, msg)
 		return
 	}
 
@@ -314,7 +335,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		workers = s.cfg.BatchWorkers
 	}
 	var rec *xpath.TraceRecorder
-	opts := xpath.BatchOptions{Engine: eng, Workers: workers, IDs: req.IDs}
+	bud := s.newBudget()
+	opts := xpath.BatchOptions{Engine: eng, Workers: workers, IDs: req.IDs, Budget: bud}
 	if req.Trace {
 		rec = xpath.NewTraceRecorder()
 		opts.Tracer = rec
@@ -326,7 +348,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		evalNs   int64
 	)
 	t0 := trace.Now()
-	if !s.run(w, r, func() {
+	if !s.run(w, r, bud, func() {
 		tEval := trace.Now()
 		batch, batchErr = s.store.Query(req.Query, opts)
 		evalNs = trace.Now() - tEval
@@ -409,7 +431,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	var out string
 	var evalErr error
-	if !s.run(w, r, func() {
+	if !s.run(w, r, nil, func() {
 		out, evalErr = q.ExplainAnalyze(doc)
 	}) {
 		return

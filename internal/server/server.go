@@ -29,11 +29,14 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	xpath "repro"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
 )
 
 // Config parameterizes one Server.
@@ -48,10 +51,19 @@ type Config struct {
 	// queue rejects with 429 instead of queuing unboundedly.
 	QueueDepth int
 	// Timeout bounds one request's stay in the server — queue wait plus
-	// evaluation (0 means 10s). Expiry answers 504; the admitted job still
-	// completes in the background (its result is discarded), so the worker
-	// pool invariant survives.
+	// evaluation (0 means 10s). Expiry answers 504 and cancels the
+	// request's evaluation budget, so the in-flight evaluation stops at its
+	// next cooperative check and the worker slot frees promptly instead of
+	// grinding to completion on a result nobody will read. Client
+	// disconnects cancel the same way.
 	Timeout time.Duration
+	// MaxSteps bounds one evaluation's cooperative step fuel (0 means
+	// unlimited). Exhaustion answers 422 Unprocessable Entity: the query is
+	// well-formed but too expensive under this server's policy.
+	MaxSteps int64
+	// MaxResultCard bounds one evaluation's node-set result cardinality
+	// (0 means unlimited). Exceeding it answers 422.
+	MaxResultCard int
 	// DefaultEngine evaluates requests that do not name an engine
 	// (zero value: EngineAuto, the paper's OPTMINCONTEXT).
 	DefaultEngine xpath.Engine
@@ -139,18 +151,41 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// newBudget builds the per-request evaluation budget from the server's
+// policy: the request timeout as a deadline plus the configured step fuel
+// and result-cardinality caps.
+func (s *Server) newBudget() *xpath.Budget {
+	return xpath.NewBudget(xpath.BudgetLimits{
+		Deadline:      s.cfg.Timeout,
+		Steps:         s.cfg.MaxSteps,
+		MaxResultCard: s.cfg.MaxResultCard,
+	})
+}
+
 // run admits work through the bounded queue and waits for it to finish,
 // mapping the three overload outcomes to their status codes. ok is false
-// when the response has already been written (reject or timeout).
-func (s *Server) run(w http.ResponseWriter, r *http.Request, work func()) (ok bool) {
+// when the response has already been written (reject, timeout, or a panic
+// that escaped the evaluation guards).
+//
+// bud, when non-nil, is the request's evaluation budget: a timer expiry or
+// client disconnect cancels it, so the in-flight evaluation returns at its
+// next cooperative check and the worker moves on to the next job — the 504
+// does not burn a worker slot for the rest of the evaluation.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, bud *xpath.Budget, work func()) (ok bool) {
 	if s.draining.Load() {
 		mRejectedDrain.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return false
 	}
 	done := make(chan struct{})
+	var panicErr error
 	err := s.pool.submit(func() {
+		// LIFO defers: RecoverPanic captures a job panic into panicErr
+		// first, then done closes — so the waiter below always observes the
+		// outcome, panic included, and the worker goroutine never dies.
 		defer close(done)
+		defer engine.RecoverPanic(&panicErr)
+		faultinject.Hit("server.worker")
 		work()
 	})
 	switch err {
@@ -169,14 +204,26 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, work func()) (ok bo
 	defer timer.Stop()
 	select {
 	case <-done:
+		if panicErr != nil {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("internal error: %v", panicErr))
+			return false
+		}
 		return true
 	case <-timer.C:
 		mTimeouts.Add(1)
+		if bud != nil {
+			bud.Cancel()
+		}
 		writeError(w, http.StatusGatewayTimeout, "request timed out in the server")
 		return false
 	case <-r.Context().Done():
-		// Client went away; the admitted job still completes, its result
-		// is discarded with the connection.
+		// Client went away; cancel the evaluation so the worker slot frees
+		// at the next cooperative check instead of computing a result that
+		// will be discarded with the connection.
+		if bud != nil {
+			bud.Cancel()
+		}
 		return false
 	}
 }

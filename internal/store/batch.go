@@ -1,16 +1,20 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/syntax"
 	"repro/internal/trace"
 	"repro/internal/values"
+	"repro/internal/xmltree"
 )
 
 // Batch instruments (process-wide).
@@ -41,6 +45,21 @@ type QueryOptions struct {
 	// Unlike an axes.Scratch, one tracer serves all workers at once, so it
 	// must be safe for concurrent use (trace.Recorder is).
 	Tracer trace.Tracer
+	// Budget, when non-nil, is shared by every worker: each claimed document
+	// first polls it (a tripped budget marks the remaining documents with
+	// the budget error without evaluating them), each evaluation checks it
+	// cooperatively, and a budget-classed per-document failure cancels it so
+	// sibling workers stop. Generic per-document failures (unknown IDs,
+	// engine limits) stay isolated to their document, as before.
+	Budget *budget.Budget
+}
+
+// isBudgetErr classifies the errors that should propagate across a fan-out:
+// the shared budget tripping, in any of its three flavors.
+func isBudgetErr(err error) bool {
+	return errors.Is(err, budget.ErrCanceled) ||
+		errors.Is(err, budget.ErrDeadlineExceeded) ||
+		errors.Is(err, budget.ErrBudgetExceeded)
 }
 
 // DocResult is the outcome of the query on one document of the batch.
@@ -105,17 +124,33 @@ func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.S
 					}
 					continue
 				}
+				if b := opts.Budget; b != nil {
+					if err := b.Err(); err != nil {
+						// Tripped budget: mark the rest of the batch without
+						// evaluating (each worker drains its claims quickly).
+						results[i] = DocResult{ID: it.id, Err: err}
+						mBatchErrors.Add(1)
+						continue
+					}
+				}
 				// Queue wait: how long the item sat behind earlier claims
 				// before a worker reached it.
 				tClaim := trace.Now()
 				mQueueWaitNs.Observe(tClaim - t0)
 				ctx := engine.RootContext(it.doc)
 				ctx.Tracer = opts.Tracer
-				v, st, err := opts.Engine.Evaluate(q, it.doc, ctx)
+				ctx.Budget = opts.Budget
+				v, st, err := evalBatchDoc(opts.Engine, q, it.doc, ctx)
 				evalNs := trace.Now() - tClaim
 				mDocEvalNs.Observe(evalNs)
 				if err != nil {
 					mBatchErrors.Add(1)
+					// A budget-classed failure is batch-wide by definition:
+					// trip the shared budget so sibling workers stop instead
+					// of finishing their own documents at full cost.
+					if opts.Budget != nil && isBudgetErr(err) {
+						opts.Budget.Cancel()
+					}
 				}
 				if opts.Tracer != nil {
 					out := trace.CardUnknown
@@ -141,6 +176,14 @@ func (s *Store) Query(q *syntax.Query, opts QueryOptions) ([]DocResult, engine.S
 		agg.Add(results[i].Stats)
 	}
 	return results, agg
+}
+
+// evalBatchDoc runs one document's evaluation behind the batch's panic
+// guard: a panicking engine poisons one DocResult, not the whole process.
+func evalBatchDoc(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
+	defer engine.RecoverPanic(&err)
+	faultinject.Hit("store.batch.worker")
+	return eng.Evaluate(q, doc, ctx)
 }
 
 // batchItems resolves the document selection of a batch. Unknown IDs are

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/budget"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/syntax"
 	"repro/internal/trace"
@@ -59,11 +61,11 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	head, tail, ok := splitCached(q)
 	if !ok || workers == 1 {
 		mParSerial.Add(1)
-		v, st, err := eng.Evaluate(q, doc, ctx)
+		v, st, err := evalParallelPart(eng, q, doc, ctx)
 		return v, st, false, err
 	}
 
-	hv, hst, err := eng.Evaluate(head, doc, ctx)
+	hv, hst, err := evalParallelPart(eng, head, doc, ctx)
 	if err != nil {
 		return values.Value{}, hst, false, err
 	}
@@ -78,8 +80,8 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 		acc := xmltree.NewSet(doc)
 		agg := hst
 		for _, x := range contexts {
-			v, st, err := eng.Evaluate(tail, doc,
-				engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer})
+			v, st, err := evalParallelPart(eng, tail, doc,
+				engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer, Budget: ctx.Budget})
 			agg.Add(st)
 			if err != nil {
 				return values.Value{}, agg, false, err
@@ -99,6 +101,23 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 		})
 	}
 
+	// The workers share one budget so termination coordinates: the caller's
+	// budget when given, otherwise a local pure-cancellation token. The first
+	// worker failure cancels it, and every sibling stops at its next
+	// per-context poll (or mid-evaluation, at its engine's next check).
+	bud := ctx.Budget
+	if bud == nil {
+		bud = budget.New(budget.Limits{})
+	}
+	var (
+		failOnce sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		failOnce.Do(func() { firstErr = err })
+		bud.Cancel()
+	}
+
 	sets := make([]*xmltree.Set, workers)
 	stats := make([]engine.Stats, workers)
 	errs := make([]error, workers)
@@ -111,13 +130,18 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 			defer wg.Done()
 			acc := xmltree.NewSet(doc)
 			for _, x := range part {
+				if err := bud.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				// The shared-tracer contract of QueryOptions.Tracer applies
 				// here too: the tracer reaches every worker at once.
-				v, st, err := eng.Evaluate(tail, doc,
-					engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer})
+				v, st, err := evalParallelPart(eng, tail, doc,
+					engine.Context{Node: x, Pos: 1, Size: 1, Tracer: ctx.Tracer, Budget: bud})
 				stats[w].Add(st)
 				if err != nil {
 					errs[w] = err
+					fail(err)
 					return
 				}
 				acc.UnionWith(v.Set)
@@ -132,6 +156,13 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 	agg := hst
 	for w := 0; w < workers; w++ {
 		agg.Add(stats[w])
+	}
+	// Report the root cause: the failure that tripped the shared budget, not
+	// the ErrCanceled echoes the siblings observed after it.
+	if firstErr != nil {
+		return values.Value{}, agg, true, firstErr
+	}
+	for w := 0; w < workers; w++ {
 		if errs[w] != nil {
 			return values.Value{}, agg, true, errs[w]
 		}
@@ -146,6 +177,16 @@ func EvaluateParallel(eng engine.Engine, q *syntax.Query, doc *xmltree.Document,
 		})
 	}
 	return values.NodeSet(merged), agg, true, nil
+}
+
+// evalParallelPart runs one evaluation (head, tail chunk, or the serial
+// fallback) behind the fan-out's panic guard, so a panicking engine surfaces
+// as an *engine.EvalPanicError on one part instead of killing the process
+// from an unsupervised goroutine.
+func evalParallelPart(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
+	defer engine.RecoverPanic(&err)
+	faultinject.Hit("store.parallel")
+	return eng.Evaluate(q, doc, ctx)
 }
 
 // splitEntry is one memoized SplitQuery outcome.

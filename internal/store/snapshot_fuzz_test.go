@@ -1,0 +1,45 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzLoadSnapshot drives the corpus loader ("XPC1" framing plus the inner
+// per-document "XPT1" streams) with truncated and corrupted bytes: every
+// outcome but (valid store | error) — a panic, a runaway allocation — is a
+// bug. The per-document layer has its own fuzzer in internal/xmltree; this
+// one exercises the framing, the ID strings and the length-bounded
+// document regions.
+func FuzzLoadSnapshot(f *testing.F) {
+	s := New()
+	for _, id := range []string{"a", "b"} {
+		if err := s.Add(id, xmltree.MustParseString(`<r x="1"><c>hi</c></r>`)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(corpusMagic))
+	f.Add([]byte{})
+	for cut := 1; cut < len(valid); cut += 3 {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i += 2 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := LoadSnapshot(bytes.NewReader(data))
+		if err == nil && st == nil {
+			t.Fatal("nil store without error")
+		}
+	})
+}

@@ -13,6 +13,7 @@
 package topdown
 
 import (
+	"repro/internal/budget"
 	"repro/internal/engine"
 	"repro/internal/syntax"
 	"repro/internal/values"
@@ -29,8 +30,11 @@ func New() *Engine { return &Engine{} }
 func (*Engine) Name() string { return "topdown" }
 
 // Evaluate implements engine.Engine.
-func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (values.Value, engine.Stats, error) {
-	ev := &evaluator{doc: doc}
+func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
+	// evalList mirrors Definition 2 and has no error returns; a tripped
+	// budget travels out of the recursion as a bail.
+	defer budget.RecoverBail(&err)
+	ev := &evaluator{doc: doc, bud: ctx.Budget}
 	rs := ev.evalList(q.Root, []engine.Context{ctx})
 	return rs[0], ev.st, nil
 }
@@ -38,11 +42,19 @@ func (*Engine) Evaluate(q *syntax.Query, doc *xmltree.Document, ctx engine.Conte
 type evaluator struct {
 	doc *xmltree.Document
 	st  engine.Stats
+	bud *budget.Budget
 }
 
 // evalList is E↓: it maps a list of contexts to the list of results of the
 // expression, one per context (Definition 2).
 func (ev *evaluator) evalList(e syntax.Expr, ctxs []engine.Context) []values.Value {
+	// Charge the vector width: the per-pair context lists of evalStep are
+	// where E↓'s superlinear work lives, so fuel maps to real effort.
+	if b := ev.bud; b != nil {
+		if err := b.Step(int64(len(ctxs)) + 1); err != nil {
+			budget.Bail(err)
+		}
+	}
 	ev.st.ContextsEvaluated += int64(len(ctxs))
 	ev.st.TableCells += int64(len(ctxs))
 	out := make([]values.Value, len(ctxs))

@@ -1,0 +1,152 @@
+package xmltree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// deepXML returns a document nested depth elements deep.
+func deepXML(depth int) string {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<a>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</a>")
+	}
+	return sb.String()
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	l := Limits{MaxDepth: 8}
+	if _, err := ParseWithLimits(strings.NewReader(deepXML(8)), l); err != nil {
+		t.Fatalf("depth 8 under MaxDepth 8: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(deepXML(9)), l)
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("depth 9 under MaxDepth 8: err = %v, want ErrDepthLimit", err)
+	}
+}
+
+func TestParseNodeLimit(t *testing.T) {
+	// 8 elements + document root = 9 nodes.
+	xml := "<r>" + strings.Repeat("<a/>", 7) + "</r>"
+	if _, err := ParseWithLimits(strings.NewReader(xml), Limits{MaxNodes: 9}); err != nil {
+		t.Fatalf("9 nodes under MaxNodes 9: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(xml), Limits{MaxNodes: 8})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("9 nodes under MaxNodes 8: err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestParseUnlimitedWhenZero(t *testing.T) {
+	if _, err := ParseWithLimits(strings.NewReader(deepXML(100)), Limits{}); err != nil {
+		t.Fatalf("zero Limits must not limit: %v", err)
+	}
+}
+
+func TestParseDefaultLimitsApplied(t *testing.T) {
+	_, err := ParseString(deepXML(DefaultMaxDepth + 1))
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("Parse past DefaultMaxDepth: err = %v, want ErrDepthLimit", err)
+	}
+	// Builder stays unlimited: generators synthesize what Parse rejects.
+	b := NewBuilder()
+	for i := 0; i < DefaultMaxDepth+10; i++ {
+		b.Start("a")
+	}
+	for i := 0; i < DefaultMaxDepth+10; i++ {
+		if err := b.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Done(); err != nil {
+		t.Fatalf("deep Builder document: %v", err)
+	}
+}
+
+func TestLoadSnapshotDepthLimit(t *testing.T) {
+	d, err := ParseWithLimits(strings.NewReader(deepXML(40)), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotWithLimits(bytes.NewReader(buf.Bytes()), Limits{MaxDepth: 40}); err != nil {
+		t.Fatalf("depth 40 under MaxDepth 40: %v", err)
+	}
+	_, err = LoadSnapshotWithLimits(bytes.NewReader(buf.Bytes()), Limits{MaxDepth: 39})
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("depth 40 under MaxDepth 39: err = %v, want ErrDepthLimit", err)
+	}
+	_, err = LoadSnapshotWithLimits(bytes.NewReader(buf.Bytes()), Limits{MaxNodes: 10})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("41 nodes under MaxNodes 10: err = %v, want ErrNodeLimit", err)
+	}
+}
+
+// TestSnapshotHugeClaimsFailSmall: a tiny stream declaring huge counts or
+// string lengths must fail with an error after a bounded allocation — the
+// length words are claims, not facts.
+func TestSnapshotHugeClaimsFailSmall(t *testing.T) {
+	uv := func(v uint64) []byte {
+		var b [binary.MaxVarintLen64]byte
+		return b[:binary.PutUvarint(b[:], v)]
+	}
+	cases := map[string][]byte{
+		// Label table claiming 2^24 labels, then nothing.
+		"huge label count": append([]byte(snapshotMagic), uv(1<<24)...),
+		// One label claiming a gigabyte of bytes, then nothing.
+		"huge string length": append(append([]byte(snapshotMagic), uv(1)...), uv(1<<30)...),
+		// A start event claiming 2^20 attributes, then nothing.
+		"huge attr count": func() []byte {
+			b := append([]byte(snapshotMagic), uv(1)...) // one label
+			b = append(b, uv(1)...)                      // len("a")
+			b = append(b, 'a')
+			b = append(b, evStart)
+			b = append(b, uv(0)...)     // label index
+			b = append(b, uv(1<<20)...) // attr count claim
+			return b
+		}(),
+	}
+	for name, stream := range cases {
+		if _, err := LoadSnapshot(bytes.NewReader(stream)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// FuzzLoadSnapshot: arbitrary and mutated snapshot bytes must never panic
+// or over-allocate — any outcome but (valid document | error) is a bug.
+func FuzzLoadSnapshot(f *testing.F) {
+	d := MustParseString(`<a x="1"><b>hi</b><c/>tail</a>`)
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{})
+	// Truncations and single-byte corruptions of a valid snapshot.
+	for cut := 1; cut < len(valid); cut += 3 {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i += 2 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := LoadSnapshotWithLimits(bytes.NewReader(data), Limits{MaxDepth: 64, MaxNodes: 1 << 12})
+		if err == nil && doc == nil {
+			t.Fatal("nil document without error")
+		}
+	})
+}

@@ -2,6 +2,7 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -22,6 +23,60 @@ var (
 	mTopoBytes  = metrics.Default().Counter("xmltree.topology_bytes")
 )
 
+// Ingest bounds. The derived-index builder (Document.finish) and the
+// snapshot writer recurse once per nesting level, so an adversarial
+// document that is deep enough overflows the goroutine stack — a fatal,
+// unrecoverable crash, unlike a panic. The node cap bounds ingest memory.
+// Both defaults are far above anything a real document does (XML in the
+// wild nests tens of levels, not thousands) while keeping the recursion
+// comfortably inside Go's default stack budget.
+const (
+	// DefaultMaxDepth is the element-nesting bound Parse and LoadSnapshot
+	// apply when the caller does not choose its own Limits.
+	DefaultMaxDepth = 4096
+	// DefaultMaxNodes is the matching node-count bound (elements plus the
+	// document root).
+	DefaultMaxNodes = 1 << 26
+)
+
+// ErrDepthLimit and ErrNodeLimit classify ingest-limit failures; both are
+// wrapped with the offending limit, comparable with errors.Is.
+var (
+	ErrDepthLimit = errors.New("xmltree: document exceeds the nesting depth limit")
+	ErrNodeLimit  = errors.New("xmltree: document exceeds the node count limit")
+)
+
+// Limits bounds one document ingest against adversarial input. A zero or
+// negative field imposes no corresponding limit; DefaultLimits returns the
+// bounds Parse and LoadSnapshot use on their own.
+type Limits struct {
+	// MaxDepth caps element nesting depth.
+	MaxDepth int
+	// MaxNodes caps the total node count, document root included.
+	MaxNodes int
+}
+
+// DefaultLimits returns the ingest bounds applied by Parse and LoadSnapshot.
+func DefaultLimits() Limits {
+	return Limits{MaxDepth: DefaultMaxDepth, MaxNodes: DefaultMaxNodes}
+}
+
+// checkDepth enforces MaxDepth against the current nesting depth.
+func (l Limits) checkDepth(depth int) error {
+	if l.MaxDepth > 0 && depth > l.MaxDepth {
+		return fmt.Errorf("%w (%d)", ErrDepthLimit, l.MaxDepth)
+	}
+	return nil
+}
+
+// checkNodes enforces MaxNodes against the current node count.
+func (l Limits) checkNodes(count int) error {
+	if l.MaxNodes > 0 && count > l.MaxNodes {
+		return fmt.Errorf("%w (%d)", ErrNodeLimit, l.MaxNodes)
+	}
+	return nil
+}
+
 // countingReader counts the raw bytes the decoder consumes.
 type countingReader struct {
 	r io.Reader
@@ -38,8 +93,16 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // Comments and processing instructions are skipped (the paper's data model
 // has a single node kind); attributes are kept as data on their element.
 // Namespace prefixes are retained verbatim in labels — the paper excludes
-// namespace processing.
+// namespace processing. DefaultLimits applies; ParseWithLimits chooses
+// other bounds (the programmatic Builder is never limited — generators
+// synthesize arbitrarily large documents through it).
 func Parse(r io.Reader) (*Document, error) {
+	return ParseWithLimits(r, DefaultLimits())
+}
+
+// ParseWithLimits is Parse under caller-chosen ingest bounds; exceeding one
+// returns an error wrapping ErrDepthLimit or ErrNodeLimit.
+func ParseWithLimits(r io.Reader, l Limits) (*Document, error) {
 	t0 := trace.Now()
 	cr := &countingReader{r: r}
 	dec := xml.NewDecoder(cr)
@@ -58,12 +121,18 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			depth++
+			if err := l.checkDepth(depth); err != nil {
+				return nil, err
+			}
 			attrs := make([]Attr, 0, len(t.Attr))
 			for _, a := range t.Attr {
 				attrs = append(attrs, Attr{Name: attrName(a.Name), Value: a.Value})
 			}
 			b.Start(attrName(t.Name), attrs...)
-			depth++
+			if err := l.checkNodes(b.count); err != nil {
+				return nil, err
+			}
 		case xml.EndElement:
 			if err := b.End(); err != nil {
 				return nil, err

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Snapshot is a compact binary serialization of a Document: labels are
@@ -97,8 +98,21 @@ func (d *Document) WriteSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot reads a snapshot written by WriteSnapshot and rebuilds the
-// document with all evaluation indexes.
+// document with all evaluation indexes. DefaultLimits applies:
+// snapshot bytes come from disk or the network, so they get the same
+// adversarial-input treatment as raw XML.
 func LoadSnapshot(r io.Reader) (*Document, error) {
+	return LoadSnapshotWithLimits(r, DefaultLimits())
+}
+
+// LoadSnapshotWithLimits is LoadSnapshot under caller-chosen ingest bounds.
+//
+// Every count read from the stream is treated as a claim, not a fact: the
+// label table and attribute lists grow with the bytes actually present
+// (capped preallocation) so a short, corrupted stream declaring huge counts
+// fails with a read error after a small allocation instead of committing
+// gigabytes up front.
+func LoadSnapshotWithLimits(r io.Reader, l Limits) (*Document, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -114,14 +128,17 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 	if nLabels > 1<<24 {
 		return nil, fmt.Errorf("xmltree: snapshot: implausible label count %d", nLabels)
 	}
-	labels := make([]string, nLabels)
-	for i := range labels {
-		if labels[i], err = ReadSnapString(br); err != nil {
+	labels := make([]string, 0, min(nLabels, 4096))
+	for i := uint64(0); i < nLabels; i++ {
+		s, err := ReadSnapString(br)
+		if err != nil {
 			return nil, fmt.Errorf("xmltree: snapshot: label %d: %w", i, err)
 		}
+		labels = append(labels, s)
 	}
 
 	b := NewBuilder()
+	depth := 0
 	for {
 		ev, err := br.ReadByte()
 		if err != nil {
@@ -143,16 +160,25 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 			if nAttrs > 1<<20 {
 				return nil, fmt.Errorf("xmltree: snapshot: implausible attribute count %d", nAttrs)
 			}
-			attrs := make([]Attr, nAttrs)
-			for i := range attrs {
-				if attrs[i].Name, err = ReadSnapString(br); err != nil {
+			attrs := make([]Attr, 0, min(nAttrs, 64))
+			for i := uint64(0); i < nAttrs; i++ {
+				var a Attr
+				if a.Name, err = ReadSnapString(br); err != nil {
 					return nil, err
 				}
-				if attrs[i].Value, err = ReadSnapString(br); err != nil {
+				if a.Value, err = ReadSnapString(br); err != nil {
 					return nil, err
 				}
+				attrs = append(attrs, a)
+			}
+			depth++
+			if err := l.checkDepth(depth); err != nil {
+				return nil, err
 			}
 			b.Start(labels[li], attrs...)
+			if err := l.checkNodes(b.count); err != nil {
+				return nil, err
+			}
 		case evText:
 			s, err := ReadSnapString(br)
 			if err != nil {
@@ -163,6 +189,7 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 			if err := b.End(); err != nil {
 				return nil, fmt.Errorf("xmltree: snapshot: %w", err)
 			}
+			depth--
 		case evEOF:
 			return b.Done()
 		default:
@@ -193,6 +220,11 @@ func WriteSnapString(w *bufio.Writer, s string) {
 // ReadSnapString reads a length-prefixed string, rejecting implausible
 // lengths (the cap admits large text segments; callers with tighter
 // domains — e.g. document IDs — validate at write time).
+//
+// The length prefix is a claim, not a fact: beyond one chunk the buffer
+// grows with the bytes actually read, so a truncated stream declaring a
+// gigabyte string fails with an io error after at most one chunk's
+// allocation instead of committing the claimed size up front.
 func ReadSnapString(r *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -201,9 +233,26 @@ func ReadSnapString(r *bufio.Reader) (string, error) {
 	if n > 1<<30 {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
 	}
-	return string(buf), nil
+	var sb strings.Builder
+	buf := make([]byte, chunk)
+	for remaining := n; remaining > 0; {
+		m := uint64(chunk)
+		if remaining < m {
+			m = remaining
+		}
+		if _, err := io.ReadFull(r, buf[:m]); err != nil {
+			return "", err
+		}
+		sb.Write(buf[:m])
+		remaining -= m
+	}
+	return sb.String(), nil
 }

@@ -1,0 +1,49 @@
+package xpath
+
+import (
+	"repro/internal/budget"
+	"repro/internal/engine"
+)
+
+// This file is the public robustness surface: evaluation budgets
+// (cooperative cancellation, deadlines, step fuel, result-cardinality caps),
+// the structured error taxonomy, and the recovered-panic error type. The
+// alias pattern mirrors observability.go: the internal packages stay the
+// single implementation, the root package re-exports the vocabulary.
+
+// Budget bounds one evaluation cooperatively; see NewBudget and
+// Options.Budget. A Budget is safe for concurrent use — Cancel may be called
+// from any goroutine while an evaluation runs — and trips at most once: the
+// first cause (cancellation, deadline, exhaustion) wins and every later
+// check observes it.
+type Budget = budget.Budget
+
+// BudgetLimits configures a Budget: a wall-clock deadline, a cooperative
+// step (fuel) limit, and a result-cardinality cap. Zero fields impose no
+// corresponding limit, so BudgetLimits{} yields a pure cancellation token.
+type BudgetLimits = budget.Limits
+
+// NewBudget returns a Budget enforcing the given limits, with any deadline
+// armed immediately.
+func NewBudget(l BudgetLimits) *Budget { return budget.New(l) }
+
+// The evaluation error taxonomy. All three are sentinel values, comparable
+// with errors.Is.
+var (
+	// ErrCanceled reports a cooperative cancellation: Budget.Cancel was
+	// called (client disconnect, sibling-worker failure, shutdown) or
+	// Options.Context was canceled.
+	ErrCanceled = budget.ErrCanceled
+	// ErrDeadlineExceeded reports an expired BudgetLimits.Deadline.
+	ErrDeadlineExceeded = budget.ErrDeadlineExceeded
+	// ErrBudgetExceeded reports exhausted step fuel or a node-set result
+	// larger than BudgetLimits.MaxResultCard.
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
+)
+
+// EvalPanicError is a panic recovered at an evaluation boundary: every
+// evaluation entry point (EvaluateWith, the store fan-outs, the HTTP
+// server's workers) converts an engine panic into this error — with the
+// panicking goroutine's stack captured and the engine.panics metric
+// incremented — instead of crashing the process.
+type EvalPanicError = engine.EvalPanicError

@@ -81,6 +81,13 @@ type BatchOptions struct {
 	// all workers at once, so it must be safe for concurrent use
 	// (TraceRecorder is); nil costs nothing.
 	Tracer Tracer
+	// Budget, when non-nil, bounds the whole batch: every worker shares it,
+	// each claimed document polls it before evaluating (a tripped budget
+	// marks the remaining documents with the budget error), and a
+	// budget-classed per-document failure cancels the siblings. Generic
+	// per-document failures (unknown IDs, engine limits) stay isolated to
+	// their document.
+	Budget *Budget
 }
 
 // DocResult is the outcome of a batch query on one document.
@@ -123,6 +130,7 @@ func (st *Store) Query(src string, opts BatchOptions) (*BatchResult, error) {
 		Workers: opts.Workers,
 		IDs:     opts.IDs,
 		Tracer:  opts.Tracer,
+		Budget:  opts.Budget,
 	})
 	out := &BatchResult{Docs: make([]DocResult, len(raw))}
 	for i, r := range raw {
@@ -152,6 +160,11 @@ type ParallelOptions struct {
 	// per-partition spans from every worker. The shared-tracer contract of
 	// BatchOptions.Tracer applies.
 	Tracer Tracer
+	// Budget, when non-nil, bounds the whole call: the head evaluation and
+	// every worker share it, and the first worker failure cancels it so the
+	// siblings stop at their next check. Without one, a failure still cancels
+	// the siblings through an internal cancellation token.
+	Budget *Budget
 }
 
 // EvaluateParallel evaluates the query against one document by
@@ -175,6 +188,7 @@ func (q *Query) EvaluateParallel(doc *Document, opts ParallelOptions) (*Result, 
 		ctx.Node = opts.ContextNode.n
 	}
 	ctx.Tracer = opts.Tracer
+	ctx.Budget = opts.Budget
 	v, st, _, err := store.EvaluateParallel(opts.Engine.impl(), q.q, doc.tree, ctx, opts.Workers)
 	if err != nil {
 		return nil, err

@@ -28,13 +28,16 @@
 package xpath
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/bottomup"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/corexpath"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/naive"
 	"repro/internal/plan"
@@ -170,8 +173,38 @@ type Document struct {
 // ParseDocument reads an XML document. Comments and processing
 // instructions are skipped; attributes are kept as data (the paper's data
 // model has no attribute axis), with the "id" attribute feeding id().
+// DefaultParseLimits applies; ParseDocumentLimits chooses other bounds.
 func ParseDocument(r io.Reader) (*Document, error) {
 	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{tree: t}, nil
+}
+
+// ParseLimits bounds document ingest against adversarial XML: a nesting
+// depth cap (deep documents would otherwise overflow the stack of the
+// recursive index builder — a fatal crash, not a recoverable panic) and a
+// node count cap bounding ingest memory. Zero or negative fields impose no
+// corresponding limit.
+type ParseLimits = xmltree.Limits
+
+// DefaultParseLimits returns the bounds ParseDocument, ParseDocumentString
+// and the snapshot loaders apply on their own.
+func DefaultParseLimits() ParseLimits { return xmltree.DefaultLimits() }
+
+// Ingest-limit errors, comparable with errors.Is against a parse failure.
+var (
+	// ErrDepthLimit reports XML nested deeper than ParseLimits.MaxDepth.
+	ErrDepthLimit = xmltree.ErrDepthLimit
+	// ErrNodeLimit reports a document larger than ParseLimits.MaxNodes.
+	ErrNodeLimit = xmltree.ErrNodeLimit
+)
+
+// ParseDocumentLimits is ParseDocument under caller-chosen ingest bounds;
+// exceeding one returns an error wrapping ErrDepthLimit or ErrNodeLimit.
+func ParseDocumentLimits(r io.Reader, l ParseLimits) (*Document, error) {
+	t, err := xmltree.ParseWithLimits(r, l)
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +436,22 @@ type Options struct {
 	// TraceRecorder may be reused across evaluations (Reset clears it) and,
 	// unlike evaluation scratch, may be shared between goroutines.
 	Tracer Tracer
+	// Budget, when non-nil, bounds the evaluation cooperatively: every
+	// engine's main loop checks it, so cancellation (Budget.Cancel, from any
+	// goroutine), deadlines and step limits interrupt the evaluation
+	// mid-flight with ErrCanceled / ErrDeadlineExceeded / ErrBudgetExceeded.
+	// Like Tracer, nil costs one predicted nil check per site and a live
+	// Budget stays within the pinned warm-path allocation counts. A Budget
+	// is single-evaluation state: create a fresh one per evaluation (it trips
+	// at most once and stays tripped).
+	Budget *Budget
+	// Context, when non-nil, bridges standard context cancellation into the
+	// evaluation: when the context is done the evaluation's budget is
+	// canceled (an internal pure-cancellation Budget is created when Budget
+	// is nil). Unlike Budget alone, this path allocates (the stdlib
+	// registration), so latency-critical callers who poll their own signal
+	// should prefer Budget.
+	Context context.Context
 }
 
 // Stats reports the instrumentation counters of one evaluation; see
@@ -464,8 +513,25 @@ func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("xpath: context position %d exceeds context size %d", ctx.Pos, ctx.Size)
 	}
 	ctx.Tracer = opts.Tracer
+	bud := opts.Budget
+	if opts.Context != nil {
+		// Bridge standard context cancellation into the budget: an internal
+		// pure-cancellation budget is created when the caller supplied none,
+		// and the AfterFunc registration is torn down before returning.
+		if err := budgetErrFromContext(opts.Context); err != nil {
+			mEvals.Add(1)
+			mEvalErrors.Add(1)
+			return nil, err
+		}
+		if bud == nil {
+			bud = budget.New(budget.Limits{})
+		}
+		stop := context.AfterFunc(opts.Context, bud.Cancel)
+		defer stop()
+	}
+	ctx.Budget = bud
 	t0 := trace.Now()
-	v, st, err := opts.Engine.impl().Evaluate(q.q, doc.tree, ctx)
+	v, st, err := evalGuarded(opts.Engine.impl(), q.q, doc.tree, ctx)
 	evalNs := trace.Now() - t0
 	mEvals.Add(1)
 	mEvalNs.Observe(evalNs)
@@ -477,6 +543,12 @@ func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 	if v.T == values.KindNodeSet && v.Set != nil {
 		out = v.Set.Len()
 		mResultCard.Observe(int64(out))
+		if bud != nil {
+			if err := bud.Card(out); err != nil {
+				mEvalErrors.Add(1)
+				return nil, err
+			}
+		}
 	}
 	if opts.Tracer != nil {
 		opts.Tracer.Emit(TraceEvent{
@@ -485,6 +557,29 @@ func (q *Query) EvaluateWith(doc *Document, opts Options) (*Result, error) {
 		})
 	}
 	return &Result{v: v, stats: toStats(st)}, nil
+}
+
+// budgetErrFromContext maps a context's termination cause onto the
+// evaluation error taxonomy.
+func budgetErrFromContext(ctx context.Context) error {
+	switch ctx.Err() {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return ErrDeadlineExceeded
+	default:
+		return ErrCanceled
+	}
+}
+
+// evalGuarded is the panic-isolation boundary of every public evaluation: a
+// panicking engine surfaces as an *EvalPanicError (stack captured,
+// engine.panics incremented) instead of crashing the caller. The
+// faultinject site lets chaos tests drive this path on demand.
+func evalGuarded(eng engine.Engine, q *syntax.Query, doc *xmltree.Document, ctx engine.Context) (v values.Value, st engine.Stats, err error) {
+	defer engine.RecoverPanic(&err)
+	faultinject.Hit("xpath.evaluate")
+	return eng.Evaluate(q, doc, ctx)
 }
 
 // EvaluateTraced runs the query with default options plus a tracer: sugar
