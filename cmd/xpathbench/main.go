@@ -1,4 +1,4 @@
-// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E19) and
+// Command xpathbench runs the experiments of EXPERIMENTS.md (E5–E20) and
 // prints paper-style tables with fitted growth exponents:
 //
 //	xpathbench -exp all
@@ -14,7 +14,10 @@
 // E18 query-service synthetic load against the HTTP front-end (with
 // -e18-json emission: status splits, cache-hit rate, queue histograms),
 // E19 evaluation-budget pricing — nil vs live Budget overhead, fuel-trip
-// classification, concurrent-cancel latency (with -e19-json emission).
+// classification, concurrent-cancel latency (with -e19-json emission),
+// E20 durability pricing — WAL append overhead by sync policy against the
+// in-memory baseline plus recovery time, WAL replay vs compacted-snapshot
+// load (with -e20-json emission).
 //
 // -metrics-json additionally writes the process metrics registry —
 // populated by whatever experiments ran — to a standalone JSON file.
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e19) or 'all'")
+		exps    = flag.String("exp", "all", "comma-separated experiments (e5..e20) or 'all'")
 		sizes   = flag.String("sizes", "", "comma-separated |D| sweep, e.g. 50,100,200,400")
 		small   = flag.String("small-sizes", "", "comma-separated |D| sweep for E7/E11 (cubic-growth engines)")
 		reps    = flag.Int("reps", 3, "repetitions per timing cell (best-of)")
@@ -42,6 +45,7 @@ func main() {
 		e17json = flag.String("e17-json", "BENCH_E17.json", "output path for the E17 tracing off/on rows (empty disables)")
 		e18json = flag.String("e18-json", "BENCH_E18.json", "output path for the E18 query-service load rows (empty disables)")
 		e19json = flag.String("e19-json", "BENCH_E19.json", "output path for the E19 budget-pricing rows (empty disables)")
+		e20json = flag.String("e20-json", "BENCH_E20.json", "output path for the E20 durability-pricing rows (empty disables)")
 		mjson   = flag.String("metrics-json", "", "write the process metrics registry as JSON to this file after the run")
 	)
 	flag.Parse()
@@ -59,7 +63,7 @@ func main() {
 
 	w := os.Stdout
 	if *exps == "all" {
-		bench.RunAll(w, cfg, *e16json, *e17json, *e18json, *e19json)
+		bench.RunAll(w, cfg, *e16json, *e17json, *e18json, *e19json, *e20json)
 		writeMetrics(w, *mjson)
 		return
 	}
@@ -135,8 +139,18 @@ func main() {
 				}
 				fmt.Fprintf(w, "wrote %s\n", *e19json)
 			}
+		case "e20":
+			t, rows := bench.E20(cfg)
+			t.Print(w)
+			if *e20json != "" {
+				if err := bench.WriteE20JSON(*e20json, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "xpathbench: write E20 JSON:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *e20json)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e19)\n", name)
+			fmt.Fprintf(os.Stderr, "xpathbench: unknown experiment %q (want e5..e20)\n", name)
 			os.Exit(2)
 		}
 	}

@@ -1,0 +1,78 @@
+package xpath
+
+import (
+	"repro/internal/store"
+)
+
+// SyncPolicy selects when the durable store's write-ahead log fsyncs.
+type SyncPolicy = store.SyncPolicy
+
+const (
+	// SyncAlways fsyncs after every mutation: an acknowledged write
+	// survives power loss. The default.
+	SyncAlways = store.SyncAlways
+	// SyncNever leaves flushing to the OS: writes survive process crashes
+	// but a power cut may lose an un-flushed suffix. Recovery still
+	// reopens to a durable prefix.
+	SyncNever = store.SyncNever
+)
+
+// DurableOptions configures OpenStore.
+type DurableOptions struct {
+	// Sync selects the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+}
+
+// DurableStore is a Store whose mutations survive crashes: a directory
+// holds one checksummed corpus snapshot plus a write-ahead log, every
+// Put/Remove is logged before it is applied, and OpenStore recovers
+// snapshot + log replay — truncating a torn tail to the last durable
+// prefix rather than rejecting the corpus.
+//
+// Mutations serialize internally; queries on Store() proceed concurrently
+// and see each mutation atomically (old document or new, never a torn
+// one). Compact folds the log into a fresh snapshot without blocking
+// either.
+type DurableStore struct {
+	ds *store.DurableStore
+	st *Store
+}
+
+// OpenStore opens (or initializes) a durable store in dir and recovers
+// its contents.
+func OpenStore(dir string, opts DurableOptions) (*DurableStore, error) {
+	ds, err := store.Open(dir, store.DurableOptions{Sync: opts.Sync})
+	if err != nil {
+		return nil, err
+	}
+	return &DurableStore{ds: ds, st: &Store{s: ds.Store()}}, nil
+}
+
+// Store exposes the recovered corpus for queries (Get, Query, IDs, …).
+// Mutations must go through Put/Remove so they are logged.
+func (d *DurableStore) Store() *Store { return d.st }
+
+// Put durably inserts or replaces the document under the ID, reporting
+// whether a previous document was displaced.
+func (d *DurableStore) Put(id string, doc *Document) (bool, error) {
+	if doc == nil {
+		return d.ds.Put(id, nil) // the store's nil-document error
+	}
+	return d.ds.Put(id, doc.tree)
+}
+
+// Remove durably deletes the document under the ID, reporting whether it
+// was present.
+func (d *DurableStore) Remove(id string) (bool, error) { return d.ds.Remove(id) }
+
+// Compact folds the write-ahead log into a fresh snapshot and returns the
+// new corpus generation. Mutations and queries proceed while it runs.
+func (d *DurableStore) Compact() (uint64, error) { return d.ds.Compact() }
+
+// Generation returns the current corpus generation (it advances on every
+// Compact).
+func (d *DurableStore) Generation() uint64 { return d.ds.Generation() }
+
+// Close syncs and closes the log. The corpus stays queryable; further
+// mutations fail.
+func (d *DurableStore) Close() error { return d.ds.Close() }

@@ -1,0 +1,99 @@
+package xpath
+
+// Interleaved mutate/query differential fuzzing: randomized write traffic
+// churns a store's documents through Replace while queries evaluate
+// concurrently, and every observed result must equal the result of some
+// complete document version — old or new, never a torn hybrid. The
+// admissible set is precomputed serially on private instances of each
+// version (fuzzgen.VersionedDocument regenerates them deterministically),
+// so the membership check is exact: under -race this pins both memory
+// safety and linearizable old-or-new observation of the mutation layer.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fuzzgen"
+)
+
+func TestInterleavedMutateQueryFuzz(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	const versions = 3
+	rng := rand.New(rand.NewSource(fuzzSeed + 7))
+	for round := 0; round < rounds; round++ {
+		docSeed := rng.Int63()
+		size := 20 + rng.Intn(30)
+		src := fuzzgen.Query(rng, fuzzgen.Config{})
+		q, err := Compile(src)
+		if err != nil {
+			t.Fatalf("round %d: compile %q: %v", round, src, err)
+		}
+
+		// The admissible results: one render per complete version.
+		want := make(map[string]bool, versions)
+		for v := 0; v < versions; v++ {
+			res, err := q.Evaluate(WrapTree(fuzzgen.VersionedDocument(docSeed, size, v)))
+			if err != nil {
+				t.Fatalf("round %d: serial eval %q on version %d: %v", round, src, v, err)
+			}
+			want[res.String()] = true
+		}
+
+		st := NewStore()
+		if err := st.Add("x", WrapTree(fuzzgen.VersionedDocument(docSeed, size, 0))); err != nil {
+			t.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var mutator sync.WaitGroup
+		mutator.Add(1)
+		go func() {
+			defer mutator.Done()
+			for v := 1; ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := st.Replace("x", WrapTree(fuzzgen.VersionedDocument(docSeed, size, v%versions))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+
+		var queriers sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			queriers.Add(1)
+			go func() {
+				defer queriers.Done()
+				for i := 0; i < 15; i++ {
+					doc, ok := st.Get("x")
+					if !ok {
+						t.Error("document vanished")
+						return
+					}
+					res, err := q.Evaluate(doc)
+					if err != nil {
+						t.Errorf("eval under churn: %v", err)
+						return
+					}
+					if !want[res.String()] {
+						t.Errorf("round %d (doc seed %d, query %q): observed %q, not any complete version's result",
+							round, docSeed, src, res.String())
+						return
+					}
+				}
+			}()
+		}
+		queriers.Wait()
+		close(stop)
+		mutator.Wait()
+		if t.Failed() {
+			t.Fatalf("round %d failed (suite seed %d)", round, fuzzSeed+7)
+		}
+	}
+}

@@ -82,9 +82,10 @@ func TestExperimentsSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	dir := t.TempDir()
 	RunAll(&buf, cfg, filepath.Join(dir, "BENCH_E16.json"), filepath.Join(dir, "BENCH_E17.json"),
-		filepath.Join(dir, "BENCH_E18.json"), filepath.Join(dir, "BENCH_E19.json"))
+		filepath.Join(dir, "BENCH_E18.json"), filepath.Join(dir, "BENCH_E19.json"),
+		filepath.Join(dir, "BENCH_E20.json"))
 	out := buf.String()
-	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"} {
+	for _, want := range []string{"E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll output missing %s", want)
 		}

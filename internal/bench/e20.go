@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// E20 prices the durability layer of internal/store: what writing ahead
+// costs per mutation, and what recovery costs per corpus. Two sweeps per
+// corpus size:
+//
+//   - mutation latency: mean Put time against an in-memory Store.Replace
+//     baseline, once with the WAL armed but unsynced (SyncNever — the
+//     encode+write price) and once with fsync-per-record (SyncAlways —
+//     the full durable acknowledgement price). The fsync column is
+//     storage-stack-dependent and reported, not gated.
+//   - recovery time: Open on a directory holding only a WAL (pure replay,
+//     one decode+apply per mutation) against Open after Compact (pure
+//     snapshot load, zero records to replay), with the on-disk byte
+//     footprint of each representation.
+
+// E20Row is one corpus-size cell of the E20 sweep.
+type E20Row struct {
+	Docs    int `json:"docs"`
+	DocSize int `json:"doc_size"`
+	// Per-mutation mean latency: in-memory Replace baseline, WAL append
+	// without fsync, WAL append with fsync-per-record.
+	MemPutNs     int64 `json:"mem_put_ns"`
+	WALPutNs     int64 `json:"wal_put_ns"`
+	WALSyncPutNs int64 `json:"wal_sync_put_ns"`
+	// Whole-directory Open time replaying the WAL vs loading the compacted
+	// snapshot, and the byte footprint of each on disk.
+	ReplayOpenNs   int64 `json:"replay_open_ns"`
+	SnapshotOpenNs int64 `json:"snapshot_open_ns"`
+	WALBytes       int64 `json:"wal_bytes"`
+	SnapshotBytes  int64 `json:"snapshot_bytes"`
+	// RecoveredOK reports that both recovery paths reproduced the full
+	// corpus (document count checked after each Open).
+	RecoveredOK bool `json:"recovered_ok"`
+}
+
+// e20IDs names the corpus documents; every leg writes the same IDs so
+// the three stores hold identical logical state.
+func e20IDs(docs int) []string {
+	ids := make([]string, docs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("doc-%05d", i)
+	}
+	return ids
+}
+
+// e20Corpus builds a fresh document instance per ID. Each leg gets its
+// own instances — a store interns labels into the document in place, so
+// one instance cannot be handed to two stores — generated outside the
+// timed loop so the measurement is pure mutation cost.
+func e20Corpus(docs, docSize int) []*xmltree.Document {
+	out := make([]*xmltree.Document, docs)
+	for i := range out {
+		out[i] = workload.Scaled(docSize + (i%5)*10)
+	}
+	return out
+}
+
+// e20DiskFootprint sums the WAL segment and snapshot bytes under dir.
+func e20DiskFootprint(dir string) (walBytes, snapBytes int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Name(), "wal."):
+			walBytes += info.Size()
+		case e.Name() == "corpus.snap":
+			snapBytes += info.Size()
+		}
+	}
+	return walBytes, snapBytes
+}
+
+// E20 runs the durability-pricing sweep and returns the printable table
+// plus the raw rows for JSON emission.
+func E20(cfg Config) (*Table, []E20Row) {
+	cfg = cfg.Defaults()
+	const docSize = 60
+	var rows []E20Row
+	for _, docs := range cfg.CorpusSizes {
+		ids := e20IDs(docs)
+		row := E20Row{Docs: docs, DocSize: docSize}
+
+		// Baseline: in-memory Replace, no durability.
+		mem := store.New()
+		memDocs := e20Corpus(docs, docSize)
+		start := time.Now()
+		for i, id := range ids {
+			if _, err := mem.Replace(id, memDocs[i]); err != nil {
+				panic(err)
+			}
+		}
+		row.MemPutNs = time.Since(start).Nanoseconds() / int64(docs)
+
+		// WAL without fsync: the encode+write price per acknowledged Put.
+		dirNoSync, err := os.MkdirTemp("", "e20-nosync-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dirNoSync)
+		dsNoSync, err := store.Open(dirNoSync, store.DurableOptions{Sync: store.SyncNever})
+		if err != nil {
+			panic(err)
+		}
+		noSyncDocs := e20Corpus(docs, docSize)
+		start = time.Now()
+		for i, id := range ids {
+			if _, err := dsNoSync.Put(id, noSyncDocs[i]); err != nil {
+				panic(err)
+			}
+		}
+		row.WALPutNs = time.Since(start).Nanoseconds() / int64(docs)
+		if err := dsNoSync.Close(); err != nil {
+			panic(err)
+		}
+
+		// WAL with fsync-per-record: the full durable acknowledgement.
+		dirSync, err := os.MkdirTemp("", "e20-sync-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dirSync)
+		dsSync, err := store.Open(dirSync, store.DurableOptions{Sync: store.SyncAlways})
+		if err != nil {
+			panic(err)
+		}
+		syncDocs := e20Corpus(docs, docSize)
+		start = time.Now()
+		for i, id := range ids {
+			if _, err := dsSync.Put(id, syncDocs[i]); err != nil {
+				panic(err)
+			}
+		}
+		row.WALSyncPutNs = time.Since(start).Nanoseconds() / int64(docs)
+		if err := dsSync.Close(); err != nil {
+			panic(err)
+		}
+
+		// Recovery leg 1: reopen the unsynced directory — pure WAL replay.
+		row.WALBytes, _ = e20DiskFootprint(dirNoSync)
+		start = time.Now()
+		replayed, err := store.Open(dirNoSync, store.DurableOptions{Sync: store.SyncNever})
+		if err != nil {
+			panic(err)
+		}
+		row.ReplayOpenNs = time.Since(start).Nanoseconds()
+		replayOK := replayed.Store().Len() == docs
+
+		// Recovery leg 2: compact, reopen — pure snapshot load.
+		if _, err := replayed.Compact(); err != nil {
+			panic(err)
+		}
+		if err := replayed.Close(); err != nil {
+			panic(err)
+		}
+		_, row.SnapshotBytes = e20DiskFootprint(dirNoSync)
+		start = time.Now()
+		snapshotted, err := store.Open(dirNoSync, store.DurableOptions{Sync: store.SyncNever})
+		if err != nil {
+			panic(err)
+		}
+		row.SnapshotOpenNs = time.Since(start).Nanoseconds()
+		row.RecoveredOK = replayOK && snapshotted.Store().Len() == docs
+		if err := snapshotted.Close(); err != nil {
+			panic(err)
+		}
+
+		rows = append(rows, row)
+	}
+	return e20Table(rows), rows
+}
+
+// e20Table renders one line per corpus size.
+func e20Table(rows []E20Row) *Table {
+	cols := []string{"docs", "mem put", "wal put", "wal+fsync put", "replay open", "snapshot open", "wal bytes", "snap bytes", "recovered"}
+	params := make([]int, len(rows))
+	for i := range params {
+		params[i] = i
+	}
+	t := NewTable(
+		"E20 — durability pricing: WAL overhead and recovery time",
+		"per-mutation mean Put latency (in-memory baseline / WAL append / WAL append + fsync-per-record) and whole-directory Open time (WAL replay vs compacted-snapshot load); fsync nanoseconds are storage-stack-dependent — not gated",
+		"#", "mixed", params, cols)
+	for i, r := range rows {
+		t.Set("docs", i, fmt.Sprint(r.Docs))
+		t.Set("mem put", i, formatDuration(time.Duration(r.MemPutNs)))
+		t.Set("wal put", i, formatDuration(time.Duration(r.WALPutNs)))
+		t.Set("wal+fsync put", i, formatDuration(time.Duration(r.WALSyncPutNs)))
+		t.Set("replay open", i, formatDuration(time.Duration(r.ReplayOpenNs)))
+		t.Set("snapshot open", i, formatDuration(time.Duration(r.SnapshotOpenNs)))
+		t.Set("wal bytes", i, fmt.Sprint(r.WALBytes))
+		t.Set("snap bytes", i, fmt.Sprint(r.SnapshotBytes))
+		if r.RecoveredOK {
+			t.Set("recovered", i, "ok")
+		} else {
+			t.Set("recovered", i, "FAIL")
+		}
+	}
+	return t
+}
+
+// WriteE20JSON emits the E20 rows plus a process metrics-registry snapshot
+// as a JSON document (BENCH_E20.json at the repository root).
+func WriteE20JSON(path string, rows []E20Row) error {
+	doc := struct {
+		Experiment string           `json:"experiment"`
+		Unit       string           `json:"unit"`
+		Note       string           `json:"note"`
+		Rows       []E20Row         `json:"rows"`
+		Metrics    metrics.Snapshot `json:"metrics"`
+	}{
+		Experiment: "E20",
+		Unit:       "ns (mean per-mutation Put latency; whole-directory Open time)",
+		Note:       "durability pricing: WAL append vs in-memory Replace baseline under SyncNever and SyncAlways, and recovery time replaying the WAL vs loading the compacted snapshot, with on-disk byte footprints; fsync latency is storage-stack-dependent — no wall-clock claims gated",
+		Rows:       rows,
+		Metrics:    metrics.Default().Snapshot(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE20Claims gates the deterministic half of E20: every corpus size
+// produces a row, both recovery paths reproduce the full corpus, the WAL
+// and snapshot both hit disk, and every timing is positive. The latency
+// ratios (fsync vs buffered, replay vs snapshot load) are storage-stack-
+// dependent and deliberately not gated.
+func TestE20Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Config{Reps: 1, CorpusSizes: []int{8, 16}}
+	_, rows := E20(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("E20 produced %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.RecoveredOK {
+			t.Errorf("docs=%d: recovery did not reproduce the corpus", r.Docs)
+		}
+		if r.WALBytes <= 0 || r.SnapshotBytes <= 0 {
+			t.Errorf("docs=%d: empty on-disk footprint (wal %d, snap %d)", r.Docs, r.WALBytes, r.SnapshotBytes)
+		}
+		for name, ns := range map[string]int64{
+			"mem put": r.MemPutNs, "wal put": r.WALPutNs, "wal+fsync put": r.WALSyncPutNs,
+			"replay open": r.ReplayOpenNs, "snapshot open": r.SnapshotOpenNs,
+		} {
+			if ns <= 0 {
+				t.Errorf("docs=%d: non-positive %s timing %d", r.Docs, name, ns)
+			}
+		}
+	}
+}
+
+// TestE20JSONRoundTrip pins the artifact shape of BENCH_E20.json.
+func TestE20JSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	cfg := Config{Reps: 1, CorpusSizes: []int{8}}
+	_, rows := E20(cfg)
+	path := filepath.Join(t.TempDir(), "BENCH_E20.json")
+	if err := WriteE20JSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string   `json:"experiment"`
+		Rows       []E20Row `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if doc.Experiment != "E20" || len(doc.Rows) != len(rows) {
+		t.Fatalf("artifact = %q with %d rows, want E20 with %d", doc.Experiment, len(doc.Rows), len(rows))
+	}
+}

@@ -544,8 +544,8 @@ func sameBatch(a, b []store.DocResult) bool {
 
 // RunAll executes every experiment and prints the tables. A non-empty
 // e16JSONPath additionally emits the E16 before/after rows as JSON
-// (likewise e17JSONPath, e18JSONPath and e19JSONPath for E17/E18/E19).
-func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath, e19JSONPath string) {
+// (likewise e17JSONPath through e20JSONPath for E17/E18/E19/E20).
+func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath, e19JSONPath, e20JSONPath string) {
 	start := time.Now()
 	E5(cfg).Print(w)
 	E6(cfg).Print(w)
@@ -600,6 +600,15 @@ func RunAll(w io.Writer, cfg Config, e16JSONPath, e17JSONPath, e18JSONPath, e19J
 			fmt.Fprintf(w, "E19 JSON: %v\n", err)
 		} else {
 			fmt.Fprintf(w, "wrote %s\n", e19JSONPath)
+		}
+	}
+	t20, rows20 := E20(cfg)
+	t20.Print(w)
+	if e20JSONPath != "" {
+		if err := WriteE20JSON(e20JSONPath, rows20); err != nil {
+			fmt.Fprintf(w, "E20 JSON: %v\n", err)
+		} else {
+			fmt.Fprintf(w, "wrote %s\n", e20JSONPath)
 		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))

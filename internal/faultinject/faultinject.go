@@ -9,10 +9,14 @@
 //
 // Sites wired into the stack:
 //
-//	xpath.evaluate      — inside EvaluateWith's panic-guarded region
-//	server.worker       — inside a pool worker, before running a job
-//	store.batch.worker  — inside a batch worker, per claimed document
-//	store.parallel      — inside an EvaluateParallel worker
+//	xpath.evaluate         — inside EvaluateWith's panic-guarded region
+//	server.worker          — inside a pool worker, before running a job
+//	store.batch.worker     — inside a batch worker, per claimed document
+//	store.parallel         — inside an EvaluateParallel worker
+//	store.wal.append       — between a WAL record's frame header and its
+//	                         payload: a crash here leaves a torn record
+//	store.snapshot.rename  — after the snapshot temp file is written and
+//	                         fsynced, before the atomic rename installs it
 package faultinject
 
 import "sync"

@@ -325,3 +325,15 @@ func Pair(seed int64, cfg Config, docSize int) (string, *xmltree.Document) {
 	q := Query(rng, cfg)
 	return q, Document(rng, docSize)
 }
+
+// VersionedDocument derives version v of a mutating document from one
+// seed: the same (seed, n, v) always yields an identical tree, and every
+// call returns a fresh instance. The interleaved mutate/query fuzz mode
+// needs both properties — a store takes over a document's label storage on
+// insert, so the mutator must feed it fresh instances, while the checker
+// must be able to regenerate each version privately to precompute the
+// admissible results.
+func VersionedDocument(seed int64, n, v int) *xmltree.Document {
+	const mix = int64(-0x61c8864680b583eb) // golden-ratio odd constant, splitmix-style
+	return Document(rand.New(rand.NewSource(seed^(int64(v+1)*mix))), n)
+}

@@ -2,7 +2,7 @@ package lint
 
 // All returns every xpathlint analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{BudgetGuard, LockHeld, MapOrder, NoAlloc, ScratchOwn, TracerGuard}
+	return []*Analyzer{BudgetGuard, FsyncGuard, LockHeld, MapOrder, NoAlloc, ScratchOwn, TracerGuard}
 }
 
 // ByName returns the named analyzers; unknown names return nil, false.

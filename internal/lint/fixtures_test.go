@@ -30,6 +30,7 @@ var fixtureTests = []struct {
 	{"tracerguard", []*Analyzer{TracerGuard}},
 	{"maporder", []*Analyzer{MapOrder}},
 	{"lockheld", []*Analyzer{LockHeld}},
+	{"fsyncguard", []*Analyzer{FsyncGuard}},
 	{"ignore", All()}, // the escape hatch interacts with every analyzer
 }
 

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FsyncGuard enforces the durable-install ordering of internal/store: a
+// file may be renamed into place only after its contents were fsynced.
+// Rename-before-sync is the classic crash-consistency bug — the
+// directory entry can become durable while the data it names is still
+// in the page cache, so a crash leaves a validly-named file full of
+// garbage (or zeros). The snapshot installer writes temp → Sync → Close
+// → Rename → SyncDir; this analyzer keeps that order machine-checked.
+//
+// The check is lexical, per function: every call to a method or
+// function named Rename must be preceded, earlier in the same function
+// body, by a call to a method named Sync. Functions themselves named
+// Rename are exempt — they are the pass-through wrappers (osFS.Rename,
+// recording filesystems) whose callers carry the obligation.
+var FsyncGuard = &Analyzer{
+	Name: "fsyncguard",
+	Doc:  "require an fsync before every rename-into-place",
+	Run:  runFsyncGuard,
+}
+
+func runFsyncGuard(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name == "Rename" {
+				continue
+			}
+			checkFsyncGuard(pass, fn)
+		}
+	}
+}
+
+// checkFsyncGuard flags Rename calls in fn not lexically dominated by a
+// Sync call. ast.Inspect visits in source order, so a single pass with
+// a running last-Sync position suffices; the token.Pos comparison makes
+// the "preceded by" relation explicit.
+func checkFsyncGuard(pass *Pass, fn *ast.FuncDecl) {
+	synced := token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Sync":
+			synced = call.Pos()
+		case "Rename":
+			if synced == token.NoPos || synced >= call.Pos() {
+				pass.Reportf(call.Pos(), "%s calls %s.Rename without a preceding Sync — renaming a file whose data is not yet durable can install a torn snapshot after a crash; fsync the temp file first",
+					funcName(fn), exprString(sel.X))
+			}
+		}
+		return true
+	})
+}

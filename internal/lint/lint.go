@@ -28,6 +28,9 @@
 //   - lockheld: no blocking channel send and no pool submit while
 //     holding a sync.Mutex/RWMutex (the admission-layer rule of
 //     internal/server).
+//   - fsyncguard: every Rename call must be lexically preceded by a
+//     Sync call in the same function (the crash-safe install order of
+//     internal/store: write temp, fsync, close, rename, fsync dir).
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) but is built on the standard

@@ -1,0 +1,82 @@
+// Package fsyncguard exercises the durable-install ordering rule: every
+// Rename call must be lexically preceded by a Sync call in the same
+// function, and pass-through wrappers named Rename are exempt.
+package fsyncguard
+
+type file struct{}
+
+func (*file) Write(p []byte) (int, error) { return len(p), nil }
+func (*file) Sync() error                 { return nil }
+func (*file) Close() error                { return nil }
+
+type filesystem struct{}
+
+func (filesystem) Create(name string) (*file, error)    { return &file{}, nil }
+func (filesystem) Rename(oldname, newname string) error { return nil }
+func (filesystem) SyncDir(dir string) error             { return nil }
+
+// installDurably is the sanctioned shape: write, sync, close, rename,
+// sync the directory.
+func installDurably(fs filesystem, tmp, path string, data []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fs.SyncDir(path)
+}
+
+// installUnsynced never syncs: the rename can become durable before the
+// data it names.
+func installUnsynced(fs filesystem, tmp, path string, data []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil { // Close is not Sync
+		return err
+	}
+	return fs.Rename(tmp, path) // want `installUnsynced calls fs\.Rename without a preceding Sync`
+}
+
+// syncTooLate orders the calls backwards — the sync must dominate the
+// rename, not trail it.
+func syncTooLate(fs filesystem, f *file, tmp, path string) error {
+	if err := fs.Rename(tmp, path); err != nil { // want `syncTooLate calls fs\.Rename without a preceding Sync`
+		return err
+	}
+	return f.Sync()
+}
+
+// secondRenameCovered: one sync lexically dominates both renames.
+func secondRenameCovered(fs filesystem, f *file, a, b, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fs.Rename(a, dst); err != nil {
+		return err
+	}
+	return fs.Rename(b, dst)
+}
+
+// inner wraps a filesystem; its Rename method is a pass-through and so
+// exempt — the obligation sits with callers.
+type inner struct{ fs filesystem }
+
+func (r inner) Rename(oldname, newname string) error {
+	return r.fs.Rename(oldname, newname)
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	xpath "repro"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Mutation instruments (process-wide): write traffic against the corpus
+// and snapshot compactions.
+var (
+	mMutations   = metrics.Default().Counter("server.mutations")
+	mMutationNs  = metrics.Default().Histogram("server.mutation_ns")
+	mCompactions = metrics.Default().Counter("server.compactions")
+)
+
+// The mutation endpoints make the served corpus writable under live query
+// traffic:
+//
+//	PUT    /doc/{id}   parse the XML body, insert or replace the document
+//	DELETE /doc/{id}   remove the document
+//	POST   /snapshot   fold the write-ahead log into a fresh snapshot
+//
+// XML parsing — the expensive, untrusted part — happens on the handler
+// goroutine so it never occupies an evaluation worker; only the mutation
+// itself (a WAL append plus an atomic in-store swap) goes through the
+// bounded admission pool, giving writes the same 429/503/504 overload
+// behavior as queries. Mutations and queries interleave freely: a query
+// in flight during a PUT sees the old document or the new one, never a
+// torn state, and compaction never blocks either side — there is
+// deliberately no "409 while compacting".
+
+// docID extracts and validates the {id} suffix of a /doc/ path. A false
+// return means the error response is already written.
+func docID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := strings.TrimPrefix(r.URL.Path, "/doc/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "missing document ID in path")
+		return "", false
+	}
+	if strings.Contains(id, "/") {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid document ID %q: contains '/'", id))
+		return "", false
+	}
+	return id, true
+}
+
+// putDocResponse is the PUT /doc/{id} response shape.
+type putDocResponse struct {
+	ID       string `json:"id"`
+	Replaced bool   `json:"replaced"`
+	Durable  bool   `json:"durable"`
+}
+
+// handlePutDoc serves PUT /doc/{id}: the body is an XML document, parsed
+// under the server's ingest limits. 201 on insert, 200 on replace.
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	id, ok := docID(w, r)
+	if !ok {
+		return
+	}
+	doc, err := xpath.ParseDocument(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad document: %v", err))
+		return
+	}
+	t0 := trace.Now()
+	var replaced bool
+	var putErr error
+	if !s.run(w, r, nil, func() {
+		if s.cfg.Durable != nil {
+			replaced, putErr = s.cfg.Durable.Put(id, doc)
+		} else {
+			replaced, putErr = s.store.Replace(id, doc)
+		}
+	}) {
+		return
+	}
+	if putErr != nil {
+		writeError(w, http.StatusBadRequest, putErr.Error())
+		return
+	}
+	mMutations.Add(1)
+	mMutationNs.Observe(trace.Now() - t0)
+	if !replaced {
+		w.WriteHeader(http.StatusCreated)
+	}
+	writeJSON(w, putDocResponse{ID: id, Replaced: replaced, Durable: s.cfg.Durable != nil})
+}
+
+// deleteDocResponse is the DELETE /doc/{id} response shape.
+type deleteDocResponse struct {
+	ID      string `json:"id"`
+	Removed bool   `json:"removed"`
+}
+
+// handleDeleteDoc serves DELETE /doc/{id}: 200 when the document existed,
+// 404 when it did not.
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	id, ok := docID(w, r)
+	if !ok {
+		return
+	}
+	t0 := trace.Now()
+	var removed bool
+	var rmErr error
+	if !s.run(w, r, nil, func() {
+		if s.cfg.Durable != nil {
+			removed, rmErr = s.cfg.Durable.Remove(id)
+		} else {
+			removed = s.store.Remove(id)
+		}
+	}) {
+		return
+	}
+	if rmErr != nil {
+		writeError(w, http.StatusInternalServerError, rmErr.Error())
+		return
+	}
+	if !removed {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no document %q", id))
+		return
+	}
+	mMutations.Add(1)
+	mMutationNs.Observe(trace.Now() - t0)
+	writeJSON(w, deleteDocResponse{ID: id, Removed: true})
+}
+
+// snapshotResponse is the POST /snapshot response shape.
+type snapshotResponse struct {
+	Generation uint64 `json:"generation"`
+	Docs       int    `json:"docs"`
+}
+
+// handleSnapshot serves POST /snapshot: Compact on the durable store —
+// the log folds into a fresh checksummed snapshot while mutations and
+// queries proceed. Without a durable store there is nothing to fold, so
+// the request conflicts with the server's configuration: 409.
+//
+// Compaction runs on the handler goroutine, not the admission pool: it is
+// I/O-bound, its duration scales with corpus size rather than query cost,
+// and it must never occupy an evaluation worker slot.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		mRejectedDrain.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.cfg.Durable == nil {
+		writeError(w, http.StatusConflict, "server has no durable store; start with a data directory")
+		return
+	}
+	gen, err := s.cfg.Durable.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("compaction failed: %v", err))
+		return
+	}
+	mCompactions.Add(1)
+	writeJSON(w, snapshotResponse{Generation: gen, Docs: s.store.Len()})
+}

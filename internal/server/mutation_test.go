@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	xpath "repro"
+)
+
+// doRaw sends a non-JSON body (mutations take raw XML).
+func doRaw(t *testing.T, s *Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestPutDocInsertAndReplace(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := doRaw(t, s, http.MethodPut, "/doc/new", `<a><b>1</b></a>`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("insert status = %d, want 201 (body %s)", w.Code, w.Body.String())
+	}
+	w = doRaw(t, s, http.MethodPut, "/doc/new", `<a><b>2</b></a>`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("replace status = %d, want 200 (body %s)", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), `"replaced":true`) {
+		t.Fatalf("replace body %s", w.Body.String())
+	}
+
+	// The new version serves immediately.
+	var q QueryResponse
+	do(t, s, http.MethodPost, "/query", QueryRequest{ID: "new", Query: "string(/child::a/child::b)"}, &q)
+	if q.Value != "2" {
+		t.Fatalf("query after replace: %+v", q)
+	}
+}
+
+func TestPutDocRejectsBadInput(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := doRaw(t, s, http.MethodPut, "/doc/bad", `<unclosed>`); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed XML: status = %d, want 400", w.Code)
+	}
+	if w := doRaw(t, s, http.MethodPut, "/doc/", `<a/>`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty ID: status = %d, want 400", w.Code)
+	}
+	if w := doRaw(t, s, http.MethodPut, "/doc/a/b", `<a/>`); w.Code != http.StatusBadRequest {
+		t.Fatalf("nested path: status = %d, want 400", w.Code)
+	}
+	if w := doRaw(t, s, http.MethodGet, "/doc/x", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /doc: status = %d, want 405", w.Code)
+	}
+}
+
+func TestDeleteDoc(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := doRaw(t, s, http.MethodDelete, "/doc/s10", ""); w.Code != http.StatusOK {
+		t.Fatalf("delete status = %d (body %s)", w.Code, w.Body.String())
+	}
+	if w := doRaw(t, s, http.MethodDelete, "/doc/s10", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", w.Code)
+	}
+	var h HealthResponse
+	do(t, s, http.MethodGet, "/healthz", nil, &h)
+	if h.Documents != 2 {
+		t.Fatalf("documents after delete = %d, want 2", h.Documents)
+	}
+}
+
+func TestSnapshotWithoutDurableStoreConflicts(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := doRaw(t, s, http.MethodPost, "/snapshot", ""); w.Code != http.StatusConflict {
+		t.Fatalf("status = %d, want 409 (body %s)", w.Code, w.Body.String())
+	}
+}
+
+// TestDurableServerMutateCompactQuery: the full serving loop against a
+// durable store — mutations write ahead, compaction runs under traffic,
+// and a reopened server sees everything.
+func TestDurableServerMutateCompactQuery(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := xpath.OpenStore(dir, xpath.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: ds.Store(), Durable: ds})
+
+	if w := doRaw(t, s, http.MethodPut, "/doc/a", `<r><v>1</v></r>`); w.Code != http.StatusCreated {
+		t.Fatalf("put status = %d (body %s)", w.Code, w.Body.String())
+	}
+	w := doRaw(t, s, http.MethodPost, "/snapshot", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("snapshot status = %d (body %s)", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), `"generation":1`) {
+		t.Fatalf("snapshot body %s", w.Body.String())
+	}
+	// Mutations keep flowing after (and logically during) compaction —
+	// there is no 409-while-compacting.
+	if w := doRaw(t, s, http.MethodPut, "/doc/b", `<r><v>2</v></r>`); w.Code != http.StatusCreated {
+		t.Fatalf("put after compact: %d (body %s)", w.Code, w.Body.String())
+	}
+	if w := doRaw(t, s, http.MethodDelete, "/doc/a", ""); w.Code != http.StatusOK {
+		t.Fatalf("delete after compact: %d", w.Code)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the directory: snapshot + WAL replay reproduce the state.
+	ds2, err := xpath.OpenStore(dir, xpath.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	s2 := New(Config{Store: ds2.Store(), Durable: ds2})
+	var q QueryResponse
+	do(t, s2, http.MethodPost, "/query", QueryRequest{ID: "b", Query: "string(/child::r/child::v)"}, &q)
+	if q.Value != "2" {
+		t.Fatalf("recovered query: %+v", q)
+	}
+	if w := doRaw(t, s2, http.MethodDelete, "/doc/a", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("deleted document resurrected: %d", w.Code)
+	}
+}
+
+func TestMutationRejectedWhileDraining(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if w := doRaw(t, s, http.MethodPut, "/doc/x", `<a/>`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("PUT while draining: %d, want 503", w.Code)
+	}
+	if w := doRaw(t, s, http.MethodPost, "/snapshot", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /snapshot while draining: %d, want 503", w.Code)
+	}
+}

@@ -31,7 +31,15 @@ var (
 // Every dispatched request runs inside the instrumentation wrapper that
 // feeds the request counters and the status-class metrics.
 type router struct {
-	routes map[string]map[string]http.HandlerFunc // path → method → handler
+	routes   map[string]map[string]http.HandlerFunc // path → method → handler
+	prefixes []prefixRoute                          // registration order; first match wins
+}
+
+// prefixRoute dispatches every path under one prefix (e.g. /doc/) to a
+// per-method handler set; the handler extracts the suffix itself.
+type prefixRoute struct {
+	prefix   string
+	byMethod map[string]http.HandlerFunc
 }
 
 func newRouter() *router {
@@ -46,6 +54,20 @@ func (rt *router) handle(method, path string, h http.HandlerFunc) {
 		rt.routes[path] = byMethod
 	}
 	byMethod[method] = h
+}
+
+// handlePrefix registers h for method on every path under prefix.
+func (rt *router) handlePrefix(method, prefix string, h http.HandlerFunc) {
+	for i := range rt.prefixes {
+		if rt.prefixes[i].prefix == prefix {
+			rt.prefixes[i].byMethod[method] = h
+			return
+		}
+	}
+	rt.prefixes = append(rt.prefixes, prefixRoute{
+		prefix:   prefix,
+		byMethod: map[string]http.HandlerFunc{method: h},
+	})
 }
 
 // statusWriter captures the status code a handler writes, for the
@@ -87,6 +109,14 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 //xpathlint:deterministic
 func (rt *router) dispatch(w http.ResponseWriter, r *http.Request) {
 	byMethod, ok := rt.routes[r.URL.Path]
+	if !ok {
+		for i := range rt.prefixes {
+			if strings.HasPrefix(r.URL.Path, rt.prefixes[i].prefix) {
+				byMethod, ok = rt.prefixes[i].byMethod, true
+				break
+			}
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
 		return

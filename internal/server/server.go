@@ -4,13 +4,17 @@
 // store's batch fan-out, the zero-alloc topology kernels and the metrics
 // and trace substrate — servable.
 //
-// Five endpoints ride a minimal exact-path router:
+// The endpoints ride a minimal exact-path router (plus one /doc/ prefix
+// route for the mutation surface):
 //
-//	POST /query    one document, one query (engine and tracer opt-in)
-//	POST /batch    one query fanned out across an ID list (Store.Query)
-//	GET  /explain  plan disassembly; EXPLAIN ANALYZE when ?id= names a doc
-//	GET  /stats    metrics registry as JSON or Prometheus exposition
-//	GET  /healthz  liveness (503 once draining)
+//	POST   /query     one document, one query (engine and tracer opt-in)
+//	POST   /batch     one query fanned out across an ID list (Store.Query)
+//	GET    /explain   plan disassembly; EXPLAIN ANALYZE when ?id= names a doc
+//	GET    /stats     metrics registry as JSON or Prometheus exposition
+//	GET    /healthz   liveness (503 once draining)
+//	PUT    /doc/{id}  insert or replace one document (WAL-logged when durable)
+//	DELETE /doc/{id}  remove one document
+//	POST   /snapshot  fold the write-ahead log into a fresh snapshot
 //
 // Request admission sits in front of the evaluation work: a bounded job
 // queue of configurable depth drained by a fixed worker pool. A full queue
@@ -43,6 +47,12 @@ import (
 type Config struct {
 	// Store is the document corpus to serve (required).
 	Store *xpath.Store
+	// Durable, when non-nil, is the persistence layer behind Store:
+	// mutations (PUT/DELETE /doc/{id}) are write-ahead-logged through it,
+	// and POST /snapshot folds the log into a fresh checksummed snapshot.
+	// Without one, mutations alter the in-memory corpus only and
+	// POST /snapshot answers 409. Store should be Durable.Store().
+	Durable *xpath.DurableStore
 	// Workers bounds the admission worker pool (≤ 0 means 1): how many
 	// requests evaluate concurrently. Batch requests additionally fan out
 	// on the store's own per-batch pool, bounded by BatchWorkers.
@@ -117,6 +127,9 @@ func New(cfg Config) *Server {
 	s.router.handle(http.MethodGet, "/explain", s.handleExplain)
 	s.router.handle(http.MethodGet, "/stats", s.handleStats)
 	s.router.handle(http.MethodGet, "/healthz", s.handleHealthz)
+	s.router.handle(http.MethodPost, "/snapshot", s.handleSnapshot)
+	s.router.handlePrefix(http.MethodPut, "/doc/", s.handlePutDoc)
+	s.router.handlePrefix(http.MethodDelete, "/doc/", s.handleDeleteDoc)
 	return s
 }
 

@@ -1,0 +1,369 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/xmltree"
+)
+
+// DurableStore is the durability and write-traffic layer over Store: a
+// directory holding one checksummed corpus snapshot plus generation-named
+// write-ahead-log segments. Every mutation is logged before it is applied,
+// Open recovers snapshot + WAL replay (truncating a torn tail to the last
+// durable prefix), and Compact folds the log into a fresh snapshot without
+// blocking readers or writers for more than a brief rotation.
+//
+// Directory layout:
+//
+//	corpus.snap            current XPC2 snapshot (generation G)
+//	wal.<gen>.log          mutation segments, generation-named; replay
+//	                       applies every segment with gen ≥ G in order
+//	*.tmp                  in-flight atomic installs; deleted on Open
+//
+// Concurrency: mutations serialize on one mutex (WAL append + in-memory
+// apply are one linearization point); queries read the embedded Store
+// lock-free of that mutex, so every evaluation sees exactly an old-or-new
+// document, never a torn one. Compact holds the mutation mutex only while
+// rotating to a fresh segment and capturing the point-in-time listing —
+// the snapshot encode and fsync run concurrently with new mutations.
+type DurableStore struct {
+	dir   string
+	fs    fsys
+	sync  SyncPolicy
+	store *Store
+
+	mu     sync.Mutex // serializes mutations, rotation, close
+	wal    *walWriter
+	gen    uint64 // active WAL segment generation (≥ snapshot generation)
+	seq    uint64 // last assigned mutation sequence number
+	closed bool
+
+	compactMu sync.Mutex // serializes whole compactions
+}
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: an acknowledged
+	// mutation survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: mutations survive process
+	// crashes (the bytes are in the page cache) but a power cut may lose
+	// the un-flushed suffix. Recovery still reopens to a durable prefix.
+	SyncNever
+)
+
+// DurableOptions configures Open.
+type DurableOptions struct {
+	// Sync selects the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// fs substitutes the filesystem (tests only; nil means the real one).
+	fs fsys
+}
+
+const snapFileName = "corpus.snap"
+
+// walFileName names the segment for a generation; fixed-width decimal so
+// lexicographic directory order is generation order.
+func walFileName(gen uint64) string {
+	return fmt.Sprintf("wal.%020d.log", gen)
+}
+
+// parseWALFileName inverts walFileName.
+func parseWALFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal.") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal."), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// Open recovers (or initializes) a durable store in dir: loads the
+// snapshot if one exists, replays every WAL segment of the snapshot's
+// generation or newer in order, truncates a torn tail to the last durable
+// prefix, deletes stale segments and leftover temp files, and arms an
+// active segment for appends.
+func Open(dir string, opts DurableOptions) (*DurableStore, error) {
+	fs := opts.fs
+	if fs == nil {
+		fs = osFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Leftover temp files are failed atomic installs: garbage by
+	// construction (the install is the rename), never state.
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	ds := &DurableStore{dir: dir, fs: fs, sync: opts.Sync, store: New()}
+
+	// Snapshot, if present.
+	haveSnap := false
+	for _, name := range names {
+		if name == snapFileName {
+			haveSnap = true
+		}
+	}
+	if haveSnap {
+		f, err := fs.Open(filepath.Join(dir, snapFileName))
+		if err != nil {
+			return nil, err
+		}
+		st, gen, err := loadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		ds.store = st
+		ds.gen = gen
+	}
+
+	// WAL segments: stale ones (older than the snapshot) are already
+	// folded in; current and newer ones replay in generation order.
+	var segs []uint64
+	for _, name := range names {
+		g, ok := parseWALFileName(name)
+		if !ok {
+			continue
+		}
+		if g < ds.gen {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		segs = append(segs, g)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, g := range segs {
+		if err := ds.replaySegment(g); err != nil {
+			return nil, err
+		}
+		ds.gen = g
+	}
+
+	// Arm the active segment: append to the newest replayed one, or start
+	// the first segment of this generation.
+	path := filepath.Join(dir, walFileName(ds.gen))
+	if len(segs) > 0 {
+		w, err := fs.OpenAppend(path)
+		if err != nil {
+			return nil, err
+		}
+		ds.wal = &walWriter{f: w, sync: opts.Sync}
+	} else {
+		w, err := createWAL(fs, path, ds.gen, opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.SyncDir(dir); err != nil {
+			w.close()
+			return nil, err
+		}
+		ds.wal = w
+	}
+	return ds, nil
+}
+
+// replaySegment replays one WAL segment into the store, truncating the
+// file to its durable prefix if the tail is torn.
+func (ds *DurableStore) replaySegment(gen uint64) error {
+	path := filepath.Join(ds.dir, walFileName(gen))
+	f, err := ds.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	fileGen, goodOffset, lastSeq, err := replayWAL(f, func(rec walRecord) error {
+		return applyWALRecord(ds.store, rec)
+	})
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", ds.dir, err)
+	}
+	if fileGen != gen {
+		return fmt.Errorf("store: open %s: %s claims generation %d", ds.dir, walFileName(gen), fileGen)
+	}
+	size, err := ds.fs.Size(path)
+	if err != nil {
+		return err
+	}
+	if size > goodOffset {
+		// Torn tail: cut the file back to the durable prefix so the next
+		// append continues from a clean record boundary.
+		if err := ds.fs.Truncate(path, goodOffset); err != nil {
+			return err
+		}
+		mWALTruncated.Add(size - goodOffset)
+	}
+	if lastSeq > ds.seq {
+		ds.seq = lastSeq
+	}
+	return nil
+}
+
+// Store exposes the embedded in-memory store for queries (Get, Query,
+// IDs, …). Mutations must go through the DurableStore methods.
+func (ds *DurableStore) Store() *Store { return ds.store }
+
+// Dir returns the directory backing the store.
+func (ds *DurableStore) Dir() string { return ds.dir }
+
+// Generation returns the active WAL generation (it advances on every
+// Compact).
+func (ds *DurableStore) Generation() uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.gen
+}
+
+// Seq returns the last assigned mutation sequence number.
+func (ds *DurableStore) Seq() uint64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.seq
+}
+
+var errClosed = fmt.Errorf("store: durable store is closed")
+
+// Put inserts or replaces the document under the given ID: the mutation is
+// WAL-logged first (fsynced per policy), then applied to the in-memory
+// store — one linearization point under the mutation mutex, with readers
+// never blocked. It reports whether a previous document was replaced.
+func (ds *DurableStore) Put(id string, doc *xmltree.Document) (replaced bool, err error) {
+	if err := validateDoc(id, doc); err != nil {
+		return false, err
+	}
+	// Serialize outside the lock: the document is still private to the
+	// caller here (the Store.Add contract), and encoding is the slow part.
+	var buf bytes.Buffer
+	if err := doc.WriteSnapshot(&buf); err != nil {
+		return false, err
+	}
+	if buf.Len() > maxDocSnapLen {
+		return false, fmt.Errorf("store: document %q snapshot is %d bytes, above the %d cap", id, buf.Len(), maxDocSnapLen)
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return false, errClosed
+	}
+	_, existed := ds.store.Get(id)
+	op := walOpAdd
+	if existed {
+		op = walOpReplace
+	}
+	ds.seq++
+	if err := ds.wal.append(walRecord{op: op, seq: ds.seq, id: id, doc: buf.Bytes()}); err != nil {
+		return false, err
+	}
+	return ds.store.Replace(id, doc)
+}
+
+// Remove deletes the document under the ID (WAL-logged first), reporting
+// whether it was present. Removing an absent ID writes nothing.
+func (ds *DurableStore) Remove(id string) (bool, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return false, errClosed
+	}
+	if _, ok := ds.store.Get(id); !ok {
+		return false, nil
+	}
+	ds.seq++
+	if err := ds.wal.append(walRecord{op: walOpRemove, seq: ds.seq, id: id}); err != nil {
+		return false, err
+	}
+	return ds.store.Remove(id), nil
+}
+
+// Compact folds the WAL into a fresh snapshot: it rotates to a new
+// segment and captures a point-in-time listing under the mutation mutex
+// (brief — no disk writes beyond the new segment header), then encodes,
+// fsyncs and atomically installs the snapshot while mutations and queries
+// proceed, and finally deletes the folded segments. It returns the new
+// generation.
+func (ds *DurableStore) Compact() (uint64, error) {
+	ds.compactMu.Lock()
+	defer ds.compactMu.Unlock()
+
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return 0, errClosed
+	}
+	newGen := ds.gen + 1
+	w, err := createWAL(ds.fs, filepath.Join(ds.dir, walFileName(newGen)), newGen, ds.sync)
+	if err != nil {
+		ds.mu.Unlock()
+		return 0, err
+	}
+	oldWal := ds.wal
+	ds.wal = w
+	ds.gen = newGen
+	items := ds.store.snapshot()
+	ds.mu.Unlock()
+	mWALRotations.Add(1)
+
+	// The rotated-out segment is complete; sync and close it so the
+	// snapshot below can only ever be ahead of — never behind — the log.
+	if err := oldWal.close(); err != nil {
+		return 0, err
+	}
+	err = saveSnapshotFile(ds.fs, filepath.Join(ds.dir, snapFileName), func(sw io.Writer) error {
+		return writeSnapshotEntries(sw, newGen, items)
+	})
+	if err != nil {
+		// The snapshot install failed but the rotation stands: recovery
+		// replays the old segment (still on disk) plus the new one.
+		return 0, err
+	}
+
+	// Snapshot durable: segments older than newGen are folded in.
+	names, err := ds.fs.ReadDir(ds.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		if g, ok := parseWALFileName(name); ok && g < newGen {
+			if err := ds.fs.Remove(filepath.Join(ds.dir, name)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return newGen, nil
+}
+
+// Close syncs and closes the active WAL segment. The embedded store stays
+// readable; further mutations and compactions fail.
+func (ds *DurableStore) Close() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return nil
+	}
+	ds.closed = true
+	return ds.wal.close()
+}

@@ -1,0 +1,438 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func mustDoc(t *testing.T, xml string) *xmltree.Document {
+	t.Helper()
+	return xmltree.MustParseString(xml)
+}
+
+func openDurable(t *testing.T, dir string) *DurableStore {
+	t.Helper()
+	ds, err := Open(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDurableOpenEmptyPutReopen(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+	if ds.Store().Len() != 0 {
+		t.Fatalf("fresh dir Len %d", ds.Store().Len())
+	}
+	if replaced, err := ds.Put("a", mustDoc(t, `<r><c>1</c></r>`)); err != nil || replaced {
+		t.Fatalf("first Put: replaced=%v err=%v", replaced, err)
+	}
+	if replaced, err := ds.Put("a", mustDoc(t, `<r><c>2</c></r>`)); err != nil || !replaced {
+		t.Fatalf("second Put: replaced=%v err=%v", replaced, err)
+	}
+	if _, err := ds.Put("b", mustDoc(t, `<r><c>3</c></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := ds.Remove("b"); err != nil || !removed {
+		t.Fatalf("Remove: %v %v", removed, err)
+	}
+	if removed, err := ds.Remove("ghost"); err != nil || removed {
+		t.Fatalf("Remove absent: %v %v", removed, err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: pure WAL replay (no snapshot yet).
+	ds2 := openDurable(t, dir)
+	defer ds2.Close()
+	if ds2.Store().Len() != 1 {
+		t.Fatalf("recovered Len %d want 1", ds2.Store().Len())
+	}
+	d, ok := ds2.Store().Get("a")
+	if !ok || !strings.Contains(d.XMLString(), "2") {
+		t.Fatalf("recovered document: ok=%v %s", ok, d.XMLString())
+	}
+	if ds2.Seq() != 4 {
+		t.Fatalf("recovered seq %d want 4", ds2.Seq())
+	}
+}
+
+func TestDurableCompactAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+	for i := 0; i < 10; i++ {
+		if _, err := ds.Put(fmt.Sprintf("doc-%d", i), mustDoc(t, fmt.Sprintf(`<r><n>%d</n></r>`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, err := ds.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation %d want 1", gen)
+	}
+	// Post-compaction traffic lands in the new segment.
+	if _, err := ds.Put("late", mustDoc(t, `<r><n>late</n></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Remove("doc-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the current-generation segment and the snapshot remain.
+	names, err := osFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{snapFileName, walFileName(1)}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("directory %v want %v", names, want)
+	}
+
+	ds2 := openDurable(t, dir)
+	defer ds2.Close()
+	if got := ds2.Store().Len(); got != 10 { // 10 added, +late, -doc-0
+		t.Fatalf("recovered Len %d want 10", got)
+	}
+	if _, ok := ds2.Store().Get("doc-0"); ok {
+		t.Fatal("doc-0 must stay removed after recovery")
+	}
+	if _, ok := ds2.Store().Get("late"); !ok {
+		t.Fatal("late must survive recovery")
+	}
+	if ds2.Generation() != 1 {
+		t.Fatalf("recovered generation %d want 1", ds2.Generation())
+	}
+}
+
+// TestDurableRecoversFromTornTail: bytes chopped off the active segment —
+// a crash mid-append — must reopen to the last durable prefix, and the
+// next mutation must append cleanly from there.
+func TestDurableRecoversFromTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+	if _, err := ds.Put("keep", mustDoc(t, `<r><c>keep</c></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Put("torn", mustDoc(t, `<r><c>torn</c></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, walFileName(0))
+	size, err := osFS{}.Size(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chop := int64(1); chop < 12; chop++ {
+		if err := os.Truncate(path, size-chop); err != nil {
+			t.Fatal(err)
+		}
+		ds2 := openDurable(t, dir)
+		if _, ok := ds2.Store().Get("keep"); !ok {
+			t.Fatalf("chop %d: first record lost", chop)
+		}
+		if _, ok := ds2.Store().Get("torn"); ok {
+			t.Fatalf("chop %d: torn record replayed", chop)
+		}
+		// The truncated store accepts new traffic on the cut boundary.
+		if _, err := ds2.Put("fresh", mustDoc(t, `<r><c>fresh</c></r>`)); err != nil {
+			t.Fatalf("chop %d: %v", chop, err)
+		}
+		if err := ds2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ds3 := openDurable(t, dir)
+		if _, ok := ds3.Store().Get("fresh"); !ok {
+			t.Fatalf("chop %d: post-recovery append lost", chop)
+		}
+		ds3.Close()
+		// Reset for the next chop depth: drop "fresh" and restore "torn" so
+		// the segment again ends in the record the next chop will tear.
+		ds4 := openDurable(t, dir)
+		if _, err := ds4.Remove("fresh"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds4.Put("torn", mustDoc(t, `<r><c>torn</c></r>`)); err != nil {
+			t.Fatal(err)
+		}
+		ds4.Close()
+		size, err = osFS{}.Size(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDurableLeftoverTmpCleaned(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "corpus.snap.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds := openDurable(t, dir)
+	defer ds.Close()
+	if _, err := os.Stat(filepath.Join(dir, "corpus.snap.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("tmp not cleaned: %v", err)
+	}
+}
+
+func TestDurableClosedRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Put("a", mustDoc(t, `<r/>`)); err == nil {
+		t.Fatal("Put after Close must fail")
+	}
+	if _, err := ds.Remove("a"); err == nil {
+		t.Fatal("Remove of a present doc after Close must fail")
+	}
+	if _, err := ds.Compact(); err == nil {
+		t.Fatal("Compact after Close must fail")
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// recordingFS wraps a real fsys and logs every durability-relevant
+// operation in order, so tests can assert the flush → sync → rename
+// discipline rather than trust it.
+type recordingFS struct {
+	real osFS
+	mu   sync.Mutex
+	ops  []string
+}
+
+func (r *recordingFS) log(format string, args ...any) {
+	r.mu.Lock()
+	r.ops = append(r.ops, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+func (r *recordingFS) Ops() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.ops...)
+}
+
+type recordingFile struct {
+	vfile
+	fs   *recordingFS
+	name string
+}
+
+func (f *recordingFile) Write(p []byte) (int, error) {
+	f.fs.log("write %s %d", f.name, len(p))
+	return f.vfile.Write(p)
+}
+
+func (f *recordingFile) Sync() error {
+	f.fs.log("sync %s", f.name)
+	return f.vfile.Sync()
+}
+
+func (f *recordingFile) Close() error {
+	f.fs.log("close %s", f.name)
+	return f.vfile.Close()
+}
+
+func (r *recordingFS) Create(name string) (vfile, error) {
+	r.log("create %s", filepath.Base(name))
+	f, err := r.real.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{vfile: f, fs: r, name: filepath.Base(name)}, nil
+}
+
+func (r *recordingFS) OpenAppend(name string) (vfile, error) {
+	r.log("append %s", filepath.Base(name))
+	f, err := r.real.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{vfile: f, fs: r, name: filepath.Base(name)}, nil
+}
+
+func (r *recordingFS) Open(name string) (io.ReadCloser, error) { return r.real.Open(name) }
+
+func (r *recordingFS) Rename(oldname, newname string) error {
+	r.log("rename %s %s", filepath.Base(oldname), filepath.Base(newname))
+	return r.real.Rename(oldname, newname)
+}
+
+func (r *recordingFS) Remove(name string) error {
+	r.log("remove %s", filepath.Base(name))
+	return r.real.Remove(name)
+}
+
+func (r *recordingFS) Truncate(name string, size int64) error {
+	r.log("truncate %s %d", filepath.Base(name), size)
+	return r.real.Truncate(name, size)
+}
+
+func (r *recordingFS) MkdirAll(dir string) error { return r.real.MkdirAll(dir) }
+
+func (r *recordingFS) ReadDir(dir string) ([]string, error) { return r.real.ReadDir(dir) }
+
+func (r *recordingFS) SyncDir(dir string) error {
+	r.log("syncdir")
+	return r.real.SyncDir(dir)
+}
+
+func (r *recordingFS) Size(name string) (int64, error) { return r.real.Size(name) }
+
+// TestSnapshotInstallOrdering: the atomic install must write and sync the
+// temp file, close it, rename it over the target, and sync the directory —
+// in exactly that order. Any other order has a crash window that can
+// install unsynced bytes.
+func TestSnapshotInstallOrdering(t *testing.T) {
+	dir := t.TempDir()
+	rfs := &recordingFS{}
+	s := corpus(t, 2)
+	if err := saveSnapshotFile(rfs, filepath.Join(dir, "corpus.snap"), func(w io.Writer) error {
+		return s.WriteSnapshot(w)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var seq []string
+	for _, op := range rfs.Ops() {
+		switch {
+		case strings.HasPrefix(op, "sync corpus.snap.tmp"):
+			seq = append(seq, "sync")
+		case strings.HasPrefix(op, "close corpus.snap.tmp"):
+			seq = append(seq, "close")
+		case strings.HasPrefix(op, "rename corpus.snap.tmp corpus.snap"):
+			seq = append(seq, "rename")
+		case op == "syncdir":
+			seq = append(seq, "syncdir")
+		}
+	}
+	want := []string{"sync", "close", "rename", "syncdir"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("install order %v want %v\nfull log: %v", seq, want, rfs.Ops())
+	}
+}
+
+// TestWALAppendSyncOrdering: under SyncAlways every record's bytes are
+// synced before Put returns; the sync follows the payload write.
+func TestWALAppendSyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	rfs := &recordingFS{}
+	ds, err := Open(dir, DurableOptions{Sync: SyncAlways, fs: rfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	mark := len(rfs.Ops())
+	if _, err := ds.Put("a", mustDoc(t, `<r/>`)); err != nil {
+		t.Fatal(err)
+	}
+	ops := rfs.Ops()[mark:]
+	wal := walFileName(0)
+	var writes, syncs int
+	lastWrite, lastSync := -1, -1
+	for i, op := range ops {
+		if strings.HasPrefix(op, "write "+wal) {
+			writes++
+			lastWrite = i
+		}
+		if strings.HasPrefix(op, "sync "+wal) {
+			syncs++
+			lastSync = i
+		}
+	}
+	if writes != 2 || syncs != 1 || lastSync < lastWrite {
+		t.Fatalf("per-record ops: %d writes, %d syncs, order write<%d> sync<%d>\n%v",
+			writes, syncs, lastWrite, lastSync, ops)
+	}
+}
+
+// TestDurableConcurrentMutateQueryCompact exercises the full interleaving
+// promise under -race: writers, readers and a compactor all proceed at
+// once; every read observes an old-or-new document, never a torn one.
+func TestDurableConcurrentMutateQueryCompact(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := Open(dir, DurableOptions{Sync: SyncNever}) // fsync throughput not under test
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				id := fmt.Sprintf("w%d-%d", g, i%5)
+				if _, err := ds.Put(id, mustDoc(t, fmt.Sprintf(`<r><n>%d</n></r>`, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%7 == 0 {
+					if _, err := ds.Remove(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range ds.Store().IDs() {
+				if d, ok := ds.Store().Get(id); ok {
+					_ = d.XMLString()
+				}
+			}
+		}
+	}()
+	for c := 0; c < 3; c++ {
+		if _, err := ds.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds2 := openDurable(t, dir)
+	defer ds2.Close()
+	if got, want := ds2.Store().Len(), ds.Store().Len(); got != want {
+		t.Fatalf("recovered Len %d want %d", got, want)
+	}
+	for _, id := range ds.Store().IDs() {
+		a, _ := ds.Store().Get(id)
+		b, ok := ds2.Store().Get(id)
+		if !ok || a.XMLString() != b.XMLString() {
+			t.Fatalf("document %q differs after recovery", id)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The durability layer writes through this narrow filesystem seam so the
+// flush → sync → rename discipline is unit-testable: the default
+// implementation is the real os package, and tests substitute a recording
+// filesystem that logs the exact operation order (see durable_test.go).
+// Production code never sees anything but osFS.
+
+// vfile is a writable file handle as durability needs it: append bytes,
+// force them to stable storage, close.
+type vfile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// fsys is the slice of filesystem behavior the durable store uses.
+type fsys interface {
+	// Create truncates/creates the named file for writing.
+	Create(name string) (vfile, error)
+	// OpenAppend opens the named file for appending, creating it if absent.
+	OpenAppend(name string) (vfile, error)
+	// Open opens the named file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically installs oldname at newname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll ensures the directory exists.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of the directory's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// within it durable.
+	SyncDir(dir string) error
+	// Size returns the named file's length in bytes.
+	Size(name string) (int64, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Create(name string) (vfile, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string) (vfile, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

@@ -7,11 +7,12 @@ import (
 	"repro/internal/xmltree"
 )
 
-// FuzzLoadSnapshot drives the corpus loader ("XPC1" framing plus the inner
-// per-document "XPT1" streams) with truncated and corrupted bytes: every
-// outcome but (valid store | error) — a panic, a runaway allocation — is a
-// bug. The per-document layer has its own fuzzer in internal/xmltree; this
-// one exercises the framing, the ID strings and the length-bounded
+// FuzzLoadSnapshot drives the corpus loader — current "XPC2" framing with
+// section checksums, legacy "XPC1", and the inner per-document "XPT1"
+// streams — with truncated and corrupted bytes: every outcome but
+// (valid store | error) — a panic, a runaway allocation — is a bug. The
+// per-document layer has its own fuzzer in internal/xmltree; this one
+// exercises the framing, the CRCs, the ID strings and the length-bounded
 // document regions.
 func FuzzLoadSnapshot(f *testing.F) {
 	s := New()
@@ -24,18 +25,24 @@ func FuzzLoadSnapshot(f *testing.F) {
 	if err := s.WriteSnapshot(&buf); err != nil {
 		f.Fatal(err)
 	}
-	valid := buf.Bytes()
-	f.Add(valid)
-	f.Add([]byte(corpusMagic))
+	var legacy bytes.Buffer
+	if err := writeSnapshotV1(&legacy, s.snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	for _, valid := range [][]byte{buf.Bytes(), legacy.Bytes()} {
+		f.Add(valid)
+		for cut := 1; cut < len(valid); cut += 3 {
+			f.Add(valid[:cut])
+		}
+		for i := 0; i < len(valid); i += 2 {
+			mut := bytes.Clone(valid)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte(corpusMagicV1))
+	f.Add([]byte(corpusMagicV2))
 	f.Add([]byte{})
-	for cut := 1; cut < len(valid); cut += 3 {
-		f.Add(valid[:cut])
-	}
-	for i := 0; i < len(valid); i += 2 {
-		mut := bytes.Clone(valid)
-		mut[i] ^= 0xff
-		f.Add(mut)
-	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := LoadSnapshot(bytes.NewReader(data))
 		if err == nil && st == nil {

@@ -57,11 +57,8 @@ func (s *Store) shardFor(id string) *shard {
 // accepted here must never trip that guard on the way back in.
 const maxIDLen = 4096
 
-// Add inserts (or replaces) the document under the given ID, interning its
-// labels into the store's shared table. The store takes over the document's
-// label storage: doc must not be evaluated concurrently with the Add call
-// itself (afterwards it is immutable again and freely shareable).
-func (s *Store) Add(id string, doc *xmltree.Document) error {
+// validateDoc checks the (id, doc) pair every insertion path shares.
+func validateDoc(id string, doc *xmltree.Document) error {
 	if id == "" {
 		return fmt.Errorf("store: empty document ID")
 	}
@@ -71,12 +68,37 @@ func (s *Store) Add(id string, doc *xmltree.Document) error {
 	if doc == nil {
 		return fmt.Errorf("store: nil document for ID %q", id)
 	}
+	return nil
+}
+
+// Add inserts (or replaces) the document under the given ID, interning its
+// labels into the store's shared table. The store takes over the document's
+// label storage: doc must not be evaluated concurrently with the Add call
+// itself (afterwards it is immutable again and freely shareable).
+func (s *Store) Add(id string, doc *xmltree.Document) error {
+	_, err := s.Replace(id, doc)
+	return err
+}
+
+// Replace atomically swaps the document under the ID (inserting if absent)
+// and reports whether a previous document was displaced. Readers holding
+// the old document keep a fully valid tree — displacement only drops the
+// store's interner references for labels no live document uses; it never
+// mutates the departing document.
+func (s *Store) Replace(id string, doc *xmltree.Document) (bool, error) {
+	if err := validateDoc(id, doc); err != nil {
+		return false, err
+	}
 	doc.InternLabels(s.intern)
 	sh := s.shardFor(id)
 	sh.mu.Lock()
+	old, replaced := sh.docs[id]
 	sh.docs[id] = doc
 	sh.mu.Unlock()
-	return nil
+	if replaced {
+		old.ReleaseLabels(s.intern)
+	}
+	return replaced, nil
 }
 
 // Get returns the document stored under the ID.
@@ -93,9 +115,12 @@ func (s *Store) Get(id string) (*xmltree.Document, bool) {
 func (s *Store) Remove(id string) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	_, ok := sh.docs[id]
+	old, ok := sh.docs[id]
 	delete(sh.docs, id)
 	sh.mu.Unlock()
+	if ok {
+		old.ReleaseLabels(s.intern)
+	}
 	return ok
 }
 

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzWALReplay drives the WAL decoder with truncated and corrupted
+// segment bytes. The contract under fuzz: replay either succeeds (possibly
+// on a shorter durable prefix — goodOffset never exceeds the input) or
+// returns an error; it never panics, never over-allocates from a hostile
+// length claim, and never reports a prefix longer than the stream.
+func FuzzWALReplay(f *testing.F) {
+	var doc bytes.Buffer
+	if err := xmltree.MustParseString(`<r a="1"><c>hi</c></r>`).WriteSnapshot(&doc); err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	encodeWALHeader(&seed, 3)
+	encodeWALRecord(&seed, walRecord{op: walOpAdd, seq: 1, id: "a", doc: doc.Bytes()})
+	encodeWALRecord(&seed, walRecord{op: walOpReplace, seq: 2, id: "a", doc: doc.Bytes()})
+	encodeWALRecord(&seed, walRecord{op: walOpRemove, seq: 3, id: "a"})
+	valid := seed.Bytes()
+	f.Add(valid)
+	f.Add([]byte(walMagic))
+	f.Add([]byte{})
+	for cut := 1; cut < len(valid); cut += 2 {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i++ {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New()
+		_, goodOffset, _, err := replayWAL(bytes.NewReader(data),
+			func(rec walRecord) error { return applyWALRecord(s, rec) })
+		if err != nil {
+			return
+		}
+		if goodOffset < 0 || goodOffset > int64(len(data)) {
+			t.Fatalf("goodOffset %d outside stream of %d bytes", goodOffset, len(data))
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// docBytes renders one parsed document as XPT1 snapshot bytes.
+func docBytes(t *testing.T, xml string) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := xmltree.MustParseString(xml).WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// sampleWAL builds a segment: header plus add/replace/remove traffic.
+func sampleWAL(t *testing.T, generation uint64) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	encodeWALHeader(&b, generation)
+	encodeWALRecord(&b, walRecord{op: walOpAdd, seq: 1, id: "a", doc: docBytes(t, `<r><c>1</c></r>`)})
+	encodeWALRecord(&b, walRecord{op: walOpAdd, seq: 2, id: "b", doc: docBytes(t, `<r><c>2</c></r>`)})
+	encodeWALRecord(&b, walRecord{op: walOpReplace, seq: 3, id: "a", doc: docBytes(t, `<r><c>3</c></r>`)})
+	encodeWALRecord(&b, walRecord{op: walOpRemove, seq: 4, id: "b"})
+	return b.Bytes()
+}
+
+func TestWALReplayAppliesMutations(t *testing.T) {
+	s := New()
+	gen, goodOffset, lastSeq, err := replayWAL(bytes.NewReader(sampleWAL(t, 9)),
+		func(rec walRecord) error { return applyWALRecord(s, rec) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 9 || lastSeq != 4 {
+		t.Fatalf("gen=%d lastSeq=%d", gen, lastSeq)
+	}
+	if goodOffset != int64(len(sampleWAL(t, 9))) {
+		t.Fatalf("goodOffset %d want full stream %d", goodOffset, len(sampleWAL(t, 9)))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len %d want 1 (b removed)", s.Len())
+	}
+	d, ok := s.Get("a")
+	if !ok || !strings.Contains(d.XMLString(), "3") {
+		t.Fatalf("replace lost: %v %v", ok, d)
+	}
+}
+
+// TestWALReplayTruncatesTornTail: cutting the stream anywhere after the
+// header replays exactly the records whose frames are complete — the
+// durable prefix — and reports the boundary offset, never an error. A torn
+// tail is the signature of a crash mid-append, not corruption.
+func TestWALReplayTruncatesTornTail(t *testing.T) {
+	full := sampleWAL(t, 1)
+	var hdr bytes.Buffer
+	encodeWALHeader(&hdr, 1)
+	headerLen := hdr.Len()
+
+	// The clean record boundaries, for checking goodOffset lands on one.
+	boundaries := map[int64]bool{int64(headerLen): true}
+	var walk bytes.Buffer
+	encodeWALHeader(&walk, 1)
+	for _, rec := range []walRecord{
+		{op: walOpAdd, seq: 1, id: "a", doc: docBytes(t, `<r><c>1</c></r>`)},
+		{op: walOpAdd, seq: 2, id: "b", doc: docBytes(t, `<r><c>2</c></r>`)},
+		{op: walOpReplace, seq: 3, id: "a", doc: docBytes(t, `<r><c>3</c></r>`)},
+		{op: walOpRemove, seq: 4, id: "b"},
+	} {
+		encodeWALRecord(&walk, rec)
+		boundaries[int64(walk.Len())] = true
+	}
+
+	for cut := headerLen; cut <= len(full); cut++ {
+		s := New()
+		applied := 0
+		_, goodOffset, _, err := replayWAL(bytes.NewReader(full[:cut]), func(rec walRecord) error {
+			applied++
+			return applyWALRecord(s, rec)
+		})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !boundaries[goodOffset] {
+			t.Fatalf("cut %d: goodOffset %d is not a record boundary", cut, goodOffset)
+		}
+		if goodOffset > int64(cut) {
+			t.Fatalf("cut %d: goodOffset %d beyond stream", cut, goodOffset)
+		}
+	}
+}
+
+// TestWALReplayCorruptPayloadIsError: a CRC-valid but undecodable payload
+// cannot come from a torn write — it must surface as corruption, not be
+// silently truncated away.
+func TestWALReplayCorruptPayloadIsError(t *testing.T) {
+	var b bytes.Buffer
+	encodeWALHeader(&b, 1)
+	encodeWALRecord(&b, walRecord{op: 99, seq: 1, id: "a"})
+	_, _, _, err := replayWAL(bytes.NewReader(b.Bytes()), func(walRecord) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("want unknown-op error, got %v", err)
+	}
+}
+
+// TestWALReplayFlippedBitEndsPrefix: a bit flip inside a record's payload
+// breaks its CRC, which ends the durable prefix at the previous record.
+func TestWALReplayFlippedBitEndsPrefix(t *testing.T) {
+	var b bytes.Buffer
+	encodeWALHeader(&b, 1)
+	encodeWALRecord(&b, walRecord{op: walOpAdd, seq: 1, id: "a", doc: docBytes(t, `<r/>`)})
+	afterFirst := int64(b.Len())
+	encodeWALRecord(&b, walRecord{op: walOpAdd, seq: 2, id: "b", doc: docBytes(t, `<r/>`)})
+	mut := b.Bytes()
+	mut[afterFirst+10] ^= 0xff // inside the second record's payload
+	s := New()
+	_, goodOffset, lastSeq, err := replayWAL(bytes.NewReader(mut),
+		func(rec walRecord) error { return applyWALRecord(s, rec) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodOffset != afterFirst || lastSeq != 1 || s.Len() != 1 {
+		t.Fatalf("goodOffset=%d (want %d) lastSeq=%d Len=%d", goodOffset, afterFirst, lastSeq, s.Len())
+	}
+}
+
+func TestWALRejectsBadHeader(t *testing.T) {
+	if _, _, _, err := replayWAL(bytes.NewReader([]byte("nope")), nil); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	var b bytes.Buffer
+	encodeWALHeader(&b, 5)
+	hdr := b.Bytes()
+	hdr[len(hdr)-1] ^= 0xff // header CRC
+	if _, _, _, err := replayWAL(bytes.NewReader(hdr), nil); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want header checksum error, got %v", err)
+	}
+}

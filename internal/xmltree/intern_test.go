@@ -1,0 +1,100 @@
+package xmltree
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternerRefcounting: retention is per document per distinct label;
+// release drops table entries only when the last retaining document leaves.
+func TestInternerRefcounting(t *testing.T) {
+	in := NewInterner()
+	d1 := MustParseString(`<a x="1"><b/><b/></a>`) // labels a, b; attr x
+	d2 := MustParseString(`<a><c/></a>`)           // labels a, c
+	d1.InternLabels(in)
+	d2.InternLabels(in)
+
+	for label, want := range map[string]int{"a": 2, "b": 1, "c": 1, "x": 1, "zzz": 0} {
+		if got := in.Refs(label); got != want {
+			t.Errorf("Refs(%q) = %d want %d", label, got, want)
+		}
+	}
+
+	d1.ReleaseLabels(in)
+	if got := in.Refs("a"); got != 1 {
+		t.Errorf("after d1 release: Refs(a) = %d want 1", got)
+	}
+	if got := in.Refs("b"); got != 0 {
+		t.Errorf("after d1 release: Refs(b) = %d want 0", got)
+	}
+	// b and x left the table entirely; a, c and the root's empty label
+	// (retained by d2) remain canonical.
+	if in.Len() != 3 {
+		t.Errorf("Len = %d want 3 (a, c, root)", in.Len())
+	}
+
+	d2.ReleaseLabels(in)
+	if in.Len() != 0 {
+		t.Errorf("Len after all releases = %d want 0", in.Len())
+	}
+
+	// The departed document is untouched: its strings are still valid.
+	if d1.Root().Children()[0].Label() != "a" {
+		t.Error("released document lost its labels")
+	}
+
+	// Double release is a no-op, not an underflow.
+	d1.ReleaseLabels(in)
+	if in.Refs("a") != 0 {
+		t.Error("double release underflowed")
+	}
+}
+
+// TestInternerUntrackedIntern: Intern without the retain protocol keeps
+// working and is unaffected by releases of never-retained strings.
+func TestInternerUntrackedIntern(t *testing.T) {
+	in := NewInterner()
+	c := in.Intern("standalone")
+	if c != "standalone" || in.Len() != 1 {
+		t.Fatalf("Intern: %q Len=%d", c, in.Len())
+	}
+	d := MustParseString(`<standalone/>`)
+	d.InternLabels(in)
+	d.ReleaseLabels(in)
+	// The document's retain/release cycle dropped the entry; re-interning
+	// simply re-installs it.
+	if got := in.Intern("standalone"); got != "standalone" {
+		t.Fatalf("re-intern: %q", got)
+	}
+}
+
+// TestInternerConcurrentRetainRelease: churning documents through
+// InternLabels/ReleaseLabels while readers intern — run under -race.
+func TestInternerConcurrentRetainRelease(t *testing.T) {
+	in := NewInterner()
+	base := MustParseString(`<shared><k/></shared>`)
+	base.InternLabels(in)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := MustParseString(fmt.Sprintf(`<shared g="%d"><k/><u%d/></shared>`, g, g))
+				d.InternLabels(in)
+				_ = in.Intern("shared")
+				d.ReleaseLabels(in)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := in.Refs("shared"); got != 1 {
+		t.Fatalf("Refs(shared) = %d want 1 (only base retains)", got)
+	}
+	for g := 0; g < 8; g++ {
+		if got := in.Refs(fmt.Sprintf("u%d", g)); got != 0 {
+			t.Fatalf("Refs(u%d) = %d want 0", g, got)
+		}
+	}
+}

@@ -113,7 +113,23 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 // fails with a read error after a small allocation instead of committing
 // gigabytes up front.
 func LoadSnapshotWithLimits(r io.Reader, l Limits) (*Document, error) {
-	br := bufio.NewReader(r)
+	d, _, err := LoadSnapshotCounted(r, l)
+	return d, err
+}
+
+// LoadSnapshotCounted is LoadSnapshotWithLimits reporting additionally how
+// many bytes of r the snapshot occupied — the exact count the decoder
+// consumed, read-ahead excluded. Framed embeddings (the corpus formats of
+// internal/store) use it to detect slack: declared frame bytes the
+// document stream never accounted for.
+func LoadSnapshotCounted(r io.Reader, l Limits) (*Document, int64, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	d, err := loadSnapshotFrom(br, l)
+	return d, cr.n - int64(br.Buffered()), err
+}
+
+func loadSnapshotFrom(br *bufio.Reader, l Limits) (*Document, error) {
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("xmltree: snapshot: %w", err)

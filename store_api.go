@@ -40,6 +40,18 @@ func (st *Store) Get(id string) (*Document, bool) {
 	return &Document{tree: t}, true
 }
 
+// Replace atomically swaps the document under the ID (inserting if absent)
+// and reports whether a previous document was displaced. Readers that
+// obtained the old document keep a fully valid tree; in-flight evaluations
+// see either the old or the new document, never a mixture. The interning
+// caveat of Add applies to the incoming document.
+func (st *Store) Replace(id string, doc *Document) (bool, error) {
+	if doc == nil {
+		return st.s.Replace(id, nil) // the store's nil-document error
+	}
+	return st.s.Replace(id, doc.tree)
+}
+
 // Remove deletes the document stored under the ID, reporting whether it was
 // present.
 func (st *Store) Remove(id string) bool { return st.s.Remove(id) }
@@ -58,6 +70,21 @@ func (st *Store) WriteSnapshot(w io.Writer) error { return st.s.WriteSnapshot(w)
 // LoadStore reads a corpus snapshot written by Store.WriteSnapshot.
 func LoadStore(r io.Reader) (*Store, error) {
 	s, err := store.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// SaveSnapshotFile writes the corpus snapshot to path crash-safely: the
+// bytes go to a temp file in the same directory, are fsynced, and are
+// atomically renamed over path — a crash at any moment leaves either the
+// old file or the new one, never a torn mixture.
+func (st *Store) SaveSnapshotFile(path string) error { return st.s.SaveSnapshotFile(path) }
+
+// LoadStoreFile reads a corpus snapshot file written by SaveSnapshotFile.
+func LoadStoreFile(path string) (*Store, error) {
+	s, err := store.LoadSnapshotFile(path)
 	if err != nil {
 		return nil, err
 	}
